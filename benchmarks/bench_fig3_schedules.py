@@ -1,0 +1,68 @@
+"""Figure 3 + Figure 4: the pipelined supernode schedules.
+
+Regenerates the time-step diagrams for the hypothetical n = 2t supernode:
+(a) EREW-PRAM with unlimited processors, (b) row-priority and
+(c) column-priority pipelined variants on 4 processors, plus the Figure 4
+backward schedule.  The rendered matrices correspond one-to-one with the
+numbers printed in the paper's figures (unit block costs, no comm delay).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.core.schedules import (
+    pipelined_backward_schedule,
+    pipelined_forward_schedule,
+    pram_forward_schedule,
+)
+
+NB, TB, Q = 8, 4, 4
+
+
+def _render(step: np.ndarray, title: str) -> str:
+    lines = [title]
+    for i in range(step.shape[0]):
+        cells = []
+        for j in range(step.shape[1]):
+            cells.append(f"{int(step[i, j]):3d}" if step[i, j] else "  .")
+        owner = f"  <- P{i % Q}"
+        lines.append(" ".join(cells) + owner)
+    return "\n".join(lines)
+
+
+def test_fig3a_pram_schedule(benchmark, out_dir):
+    step = benchmark(pram_forward_schedule, NB, TB)
+    write_artifact(out_dir, "fig3a_pram", _render(step, "Figure 3(a): EREW-PRAM forward elimination"))
+    # the wavefront property the paper highlights
+    assert int(step.max()) == NB + TB - 1
+
+
+def test_fig3b_row_priority(benchmark, out_dir):
+    step = benchmark(pipelined_forward_schedule, NB, TB, Q, priority="row")
+    write_artifact(
+        out_dir, "fig3b_row_priority", _render(step, "Figure 3(b): row-priority pipelined, q=4")
+    )
+    assert step[step > 0].min() == 1
+
+
+def test_fig3c_column_priority(benchmark, out_dir):
+    step = benchmark(pipelined_forward_schedule, NB, TB, Q, priority="column")
+    write_artifact(
+        out_dir,
+        "fig3c_column_priority",
+        _render(step, "Figure 3(c): column-priority pipelined, q=4"),
+    )
+    # column-priority: diagonal solves strictly ordered
+    diag = [int(step[j, j]) for j in range(TB)]
+    assert diag == sorted(diag)
+
+
+def test_fig4_backward(benchmark, out_dir):
+    step = benchmark(pipelined_backward_schedule, NB, TB, Q)
+    write_artifact(
+        out_dir,
+        "fig4_backward",
+        _render(step, "Figure 4: column-priority pipelined backward substitution, q=4"),
+    )
+    diag = [int(step[j, j]) for j in range(TB)]
+    assert diag == sorted(diag, reverse=True)

@@ -1,0 +1,77 @@
+"""Figure 5 + Equations 5-9: isoefficiency of solvers vs factorization.
+
+Regenerates (a) the symbolic Figure 5 table, (b) empirical isoefficiency
+exponents: the triangular solver's W ~ p^2 (Equations 5 and 9, for both
+the 2-D and 3-D matrix classes) against factorization's W ~ p^{3/2} —
+the paper's core scalability claim, including "asymptotically as scalable
+as a dense triangular solver".
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.models import figure5_table
+from repro.experiments.fig5 import isoefficiency_experiment
+
+BIG_PS = (64, 128, 256, 512, 1024)
+
+
+def _render_fig5() -> str:
+    lines = [
+        f"{'matrix':<10} {'partitioning':<26} {'factor T_o':<18} {'factor iso':<12} "
+        f"{'solve T_o':<22} {'solve iso':<12} {'overall':<10}"
+    ]
+    for r in figure5_table():
+        lines.append(
+            f"{r.matrix_type:<10} {r.partitioning:<26} {r.factor_comm:<18} "
+            f"{r.factor_iso:<12} {r.solve_comm:<22} {r.solve_iso:<12} {r.overall_iso:<10}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig5_symbolic_table(benchmark, out_dir):
+    table = benchmark(_render_fig5)
+    write_artifact(out_dir, "fig5_table", table)
+    assert "unscalable" in table
+
+
+def test_isoefficiency_exponents(benchmark, out_dir):
+    def run():
+        rows = []
+        for kind in ("2d", "3d"):
+            solve = isoefficiency_experiment(
+                kind=kind, system="trisolve-model", ps=BIG_PS, target_e=0.5
+            )
+            factor = isoefficiency_experiment(
+                kind=kind, system="factor-model", ps=BIG_PS, target_e=0.5
+            )
+            rows.append((kind, solve.exponent, factor.exponent))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = ["system            paper    measured"]
+    for kind, ks, kf in rows:
+        text.append(f"trisolve {kind}       2.00     {ks:.2f}")
+        text.append(f"factor   {kind}       1.50     {kf:.2f}")
+    write_artifact(out_dir, "fig5_exponents", "\n".join(text))
+
+    for kind, ks, kf in rows:
+        assert abs(ks - 2.0) < 0.35, f"trisolve {kind} exponent {ks}"
+        assert abs(kf - 1.5) < 0.35, f"factor {kind} exponent {kf}"
+        assert kf < ks
+
+
+def test_simulated_isoefficiency_superlinear(benchmark, out_dir):
+    """End-to-end (simulated, small-scale) sanity: growing the problem
+    with p at fixed efficiency requires superlinear W growth."""
+    res = benchmark.pedantic(
+        isoefficiency_experiment,
+        kwargs=dict(
+            kind="2d", system="trisolve", ps=(2, 4, 8), target_e=0.55, size_lo=4, size_hi=64
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"simulated trisolve isoefficiency exponent: {res.exponent:.2f}"]
+    for p, w, e in res.points:
+        lines.append(f"  p={p:3d}  W={w:12.0f}  E={e:.2f}")
+    write_artifact(out_dir, "fig5_simulated", "\n".join(lines))
+    assert res.exponent > 1.3

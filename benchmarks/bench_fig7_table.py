@@ -1,0 +1,47 @@
+"""Figure 7: the paper's main experimental table.
+
+For each of the five test-matrix analogues: factorization time/MFLOPS,
+redistribution time, and FBsolve time/MFLOPS for NRHS in {1, 5, 10, 20,
+30} at several processor counts, on the simulated Cray T3D.
+
+Shape targets (paper, T3D):
+* FBsolve speeds up with p but far less than linearly;
+* FBsolve MFLOPS grows several-fold from NRHS=1 to NRHS=30;
+* factorization time exceeds FBsolve time at every p;
+* redistribution <= 0.9x FBsolve time at NRHS=1.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.fig7 import fig7_rows, format_fig7
+
+MATRICES = ["bcsstk15", "bcsstk31", "hsct21954", "cube35", "copter2"]
+PS = (1, 16, 64)
+NRHS = (1, 5, 10, 20, 30)
+
+
+@pytest.mark.parametrize("matrix", MATRICES)
+def test_fig7_matrix(benchmark, out_dir, matrix):
+    rows = benchmark.pedantic(
+        fig7_rows,
+        args=(matrix,),
+        kwargs=dict(ps=PS, nrhs_list=NRHS, check=True),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact(out_dir, f"fig7_{matrix}", format_fig7(rows))
+
+    by = {(r.p, r.nrhs): r for r in rows}
+    # every solve verified against the true solution
+    assert all(r.residual < 1e-9 for r in rows)
+    # parallel beats serial for the solve
+    assert by[(64, 1)].fbsolve_seconds < by[(1, 1)].fbsolve_seconds
+    # NRHS=30 runs at several times the NRHS=1 rate (BLAS-3 effect)
+    assert by[(1, 30)].fbsolve_mflops > 3 * by[(1, 1)].fbsolve_mflops
+    # factorization dominates the solve at every p (paper's headline)
+    for p in PS:
+        assert by[(p, 1)].factor_seconds > by[(p, 1)].fbsolve_seconds
+    # redistribution below the paper's 0.9x bound
+    for p in PS:
+        assert by[(p, 1)].redistribution_ratio <= 0.9

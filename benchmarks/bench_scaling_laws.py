@@ -1,0 +1,50 @@
+"""Equations 1-2: measured simulated T_P against the closed-form models.
+
+The paper derives
+  2-D: T_P = O(N log N / p) + O(sqrt N) + O(p)
+  3-D: T_P = O(N^{4/3} / p) + O(N^{2/3}) + O(p)
+We sweep (N, p) on model meshes and check that the measured times track
+the model's *shape*: the correlation of log-times is high, and the
+work-dominated and overhead-dominated regimes appear where predicted.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.scaling import scaling_law_experiment
+
+
+@pytest.mark.parametrize(
+    "kind,sizes,ps",
+    [
+        ("2d", (16, 24, 32, 48), (1, 4, 16, 64)),
+        ("3d", (6, 8, 10, 12), (1, 4, 16, 64)),
+    ],
+)
+def test_scaling_law(benchmark, out_dir, kind, sizes, ps):
+    pts = benchmark.pedantic(
+        scaling_law_experiment,
+        kwargs=dict(kind=kind, sizes=sizes, ps=ps),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"{'N':>8} {'p':>5} {'measured (ms)':>14} {'model (ms)':>12}"]
+    for r in pts:
+        lines.append(
+            f"{r.n:>8} {r.p:>5} {r.measured_seconds * 1e3:>14.3f} {r.model_seconds * 1e3:>12.3f}"
+        )
+    meas = np.log([r.measured_seconds for r in pts])
+    mod = np.log([r.model_seconds for r in pts])
+    corr = float(np.corrcoef(meas, mod)[0, 1])
+    lines.append(f"log-log correlation measured vs Eq.{1 if kind == '2d' else 2} model: {corr:.3f}")
+    write_artifact(out_dir, f"scaling_eq_{kind}", "\n".join(lines))
+
+    assert corr > 0.85
+    # work-term regime: at p=1 doubling the problem scales the time up
+    p1 = sorted((r for r in pts if r.p == 1), key=lambda r: r.n)
+    assert p1[-1].measured_seconds > p1[0].measured_seconds
+    # parallelism pays off on the largest problem
+    big = max(r.n for r in pts)
+    series = sorted((r for r in pts if r.n == big), key=lambda r: r.p)
+    assert series[2].measured_seconds < series[0].measured_seconds

@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+simulated Cray-T3D and writes the rendered artefact to
+``benchmarks/out/<name>.txt`` (in addition to pytest-benchmark's timing
+stats, which measure the harness itself).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+See EXPERIMENTS.md for the paper-vs-measured comparison of each artefact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(out_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to the terminal."""
+    path = out_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

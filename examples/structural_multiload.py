@@ -1,0 +1,59 @@
+"""Structural analysis with many load cases (the paper's NRHS story).
+
+The motivating workload for multiple right-hand sides: a structure is
+factored once and then solved against many load vectors (wind, dead load,
+seismic combinations...).  The paper shows (Figures 7-8) that solving a
+block of 30 right-hand sides runs at several times the MFLOPS of repeated
+single solves — BLAS-3 kernels plus amortised index arithmetic — and that
+the one-time 2-D -> 1-D factor redistribution becomes negligible.
+
+Run:  python examples/structural_multiload.py
+"""
+
+import numpy as np
+
+from repro import ParallelSparseSolver, fe_mesh_2d
+
+N_LOADS = 30
+P = 64
+
+
+def main() -> None:
+    # A BCSSTK15-like 2-D structural mesh (N = 3969).
+    a = fe_mesh_2d(63, seed=15)
+    print(f"structure: 2-D FE mesh, N = {a.n}, nnz = {a.nnz}")
+    solver = ParallelSparseSolver(a, p=P).prepare()
+    print(f"factored once on p = {P} simulated processors "
+          f"({solver.factorization_seconds() * 1e3:.1f} ms)")
+
+    rng = np.random.default_rng(42)
+    loads = rng.normal(size=(a.n, N_LOADS))
+
+    # Strategy 1: solve the load cases one at a time.
+    total_single = 0.0
+    for k in range(N_LOADS):
+        _, rep = solver.solve(loads[:, k], check=False)
+        total_single += rep.fbsolve_seconds
+    print(f"\n{N_LOADS} single solves : {total_single * 1e3:9.2f} ms "
+          f"(plus redistribution {rep.redistribute_seconds * 1e3:.2f} ms, once)")
+
+    # Strategy 2: solve them as one 30-column block.
+    x, rep_block = solver.solve(loads)
+    print(f"one blocked solve : {rep_block.fbsolve_seconds * 1e3:9.2f} ms "
+          f"({rep_block.fbsolve_mflops:.0f} MFLOPS, "
+          f"residual {rep_block.residual:.1e})")
+    print(f"block speedup     : {total_single / rep_block.fbsolve_seconds:9.2f}x")
+    print(f"redistribution    : {rep_block.redistribution_ratio:.3f}x of the "
+          f"blocked solve (amortised)")
+
+    # Sanity: each column of the blocked solution solves its load case.
+    from repro.sparse import relative_residual
+
+    worst = max(
+        relative_residual(a, x[:, k], loads[:, k]) for k in range(0, N_LOADS, 7)
+    )
+    print(f"worst per-case residual: {worst:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+solve      solve a model problem on the simulated machine and print the
+           Figure-7-style per-phase report
+fig7       regenerate the Figure 7 table for one registered workload
+fig8       regenerate a Figure 8 MFLOPS-vs-p panel
+fig5       print the Figure 5 table and measured isoefficiency exponents
+schedules  print the Figure 3/4 pipelined step schedules
+report     run the full reproduction report (all experiments, compact)
+workloads  list the registered paper-matrix analogues
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.solver import ParallelSparseSolver
+    from repro.sparse.generators import model_problem
+
+    a = model_problem(args.matrix, args.size, seed=args.seed)
+    solver = ParallelSparseSolver(a, p=args.p, b=args.block, ordering=args.ordering).prepare()
+    rng = np.random.default_rng(args.seed)
+    b = rng.normal(size=(a.n, args.nrhs))
+    _, rep = solver.solve(b, refine=args.refine)
+    print(f"matrix {args.matrix}(size={args.size}): N={a.n}, nnz={a.nnz}, "
+          f"factor nnz={solver.symbolic.factor_nnz}")
+    print(f"p={rep.p} nrhs={rep.nrhs}")
+    print(f"  factorization : {rep.factor_seconds * 1e3:10.3f} ms  "
+          f"({rep.factor_mflops:8.1f} MFLOPS)")
+    print(f"  redistribute  : {rep.redistribute_seconds * 1e3:10.3f} ms  "
+          f"({rep.redistribution_ratio:.2f}x FBsolve)")
+    print(f"  forward       : {rep.forward.seconds * 1e3:10.3f} ms")
+    print(f"  backward      : {rep.backward.seconds * 1e3:10.3f} ms")
+    print(f"  FBsolve       : {rep.fbsolve_seconds * 1e3:10.3f} ms  "
+          f"({rep.fbsolve_mflops:8.1f} MFLOPS)")
+    print(f"  residual      : {rep.residual:.2e}")
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.experiments.fig7 import fig7_rows, format_fig7
+
+    rows = fig7_rows(args.matrix, ps=tuple(args.p), nrhs_list=tuple(args.nrhs))
+    print(format_fig7(rows))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.experiments.fig8 import fig8_series, format_fig8
+
+    series = fig8_series(args.matrix, ps=tuple(args.p), nrhs_list=tuple(args.nrhs))
+    print(format_fig8(series))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.analysis.models import figure5_table
+    from repro.experiments.fig5 import isoefficiency_experiment
+
+    for r in figure5_table():
+        print(f"{r.matrix_type:<10} {r.partitioning:<26} solve iso {r.solve_iso:<12} "
+              f"factor iso {r.factor_iso:<12} overall {r.overall_iso}")
+    print()
+    for kind in ("2d", "3d"):
+        solve = isoefficiency_experiment(kind=kind, system="trisolve-model")
+        factor = isoefficiency_experiment(kind=kind, system="factor-model")
+        print(f"measured exponents ({kind}): trisolve {solve.exponent:.2f} "
+              f"(paper 2.0), factor {factor.exponent:.2f} (paper 1.5)")
+    return 0
+
+
+def _cmd_schedules(args: argparse.Namespace) -> int:
+    from repro.core.schedules import (
+        pipelined_backward_schedule,
+        pipelined_forward_schedule,
+        pram_forward_schedule,
+    )
+
+    nb, tb, q = args.nb, args.tb, args.q
+    for title, step in (
+        ("Figure 3(a): EREW-PRAM", pram_forward_schedule(nb, tb)),
+        ("Figure 3(b): row priority", pipelined_forward_schedule(nb, tb, q, priority="row")),
+        ("Figure 3(c): column priority", pipelined_forward_schedule(nb, tb, q, priority="column")),
+        ("Figure 4: backward", pipelined_backward_schedule(nb, tb, q)),
+    ):
+        print(title)
+        for i in range(nb):
+            print("  " + " ".join(f"{int(v):3d}" if v else "  ." for v in step[i]))
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ReportOptions, generate_report
+
+    opts = ReportOptions(
+        matrices=tuple(args.matrix),
+        ps=tuple(args.p),
+        nrhs_list=tuple(args.nrhs),
+        include_fig8=not args.no_fig8,
+    )
+    print(generate_report(opts))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.experiments.matrices import WORKLOADS
+
+    print(f"{'name':<14} {'paper matrix':<12} {'paper N':>8} {'class':<5}")
+    for w in WORKLOADS.values():
+        print(f"{w.name:<14} {w.paper_name:<12} {w.paper_n:>8} {w.kind:<5}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("solve", help="solve a model problem")
+    s.add_argument("--matrix", default="grid2d",
+                   choices=["grid2d", "grid3d", "fe2d", "fe3d", "random"])
+    s.add_argument("--size", type=int, default=16)
+    s.add_argument("--p", type=int, default=16)
+    s.add_argument("--nrhs", type=int, default=1)
+    s.add_argument("--block", type=int, default=8)
+    s.add_argument("--refine", type=int, default=0)
+    s.add_argument("--ordering", default="nested_dissection")
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=_cmd_solve)
+
+    s = sub.add_parser("fig7", help="Figure 7 table for a workload")
+    s.add_argument("--matrix", default="bcsstk15")
+    s.add_argument("--p", type=int, nargs="+", default=[1, 16, 64])
+    s.add_argument("--nrhs", type=int, nargs="+", default=[1, 5, 10, 20, 30])
+    s.set_defaults(func=_cmd_fig7)
+
+    s = sub.add_parser("fig8", help="Figure 8 panel for a workload")
+    s.add_argument("--matrix", default="cube35")
+    s.add_argument("--p", type=int, nargs="+", default=[1, 4, 16, 64, 256])
+    s.add_argument("--nrhs", type=int, nargs="+", default=[1, 5, 10, 20, 30])
+    s.set_defaults(func=_cmd_fig8)
+
+    s = sub.add_parser("fig5", help="Figure 5 + isoefficiency exponents")
+    s.set_defaults(func=_cmd_fig5)
+
+    s = sub.add_parser("schedules", help="Figure 3/4 step schedules")
+    s.add_argument("--nb", type=int, default=8)
+    s.add_argument("--tb", type=int, default=4)
+    s.add_argument("--q", type=int, default=4)
+    s.set_defaults(func=_cmd_schedules)
+
+    s = sub.add_parser("report", help="run the full reproduction report")
+    s.add_argument("--matrix", nargs="+", default=["bcsstk15", "cube35"])
+    s.add_argument("--p", type=int, nargs="+", default=[1, 16, 64])
+    s.add_argument("--nrhs", type=int, nargs="+", default=[1, 10, 30])
+    s.add_argument("--no-fig8", action="store_true")
+    s.set_defaults(func=_cmd_report)
+
+    s = sub.add_parser("workloads", help="list registered workloads")
+    s.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Elementary parallel-performance metrics (paper Section 3.2 definitions)."""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+def speedup(serial_seconds: float, parallel_seconds: float) -> float:
+    """``S = T_S / T_P``."""
+    check_positive(serial_seconds, "serial_seconds")
+    check_positive(parallel_seconds, "parallel_seconds")
+    return serial_seconds / parallel_seconds
+
+
+def efficiency(serial_seconds: float, parallel_seconds: float, p: int) -> float:
+    """``E = S / p = T_S / (p T_P)``."""
+    check_positive(p, "p")
+    return speedup(serial_seconds, parallel_seconds) / p
+
+
+def overhead(serial_seconds: float, parallel_seconds: float, p: int) -> float:
+    """The overhead function ``T_o(W, p) = p T_P - T_S`` (paper Sec. 3.2)."""
+    check_positive(serial_seconds, "serial_seconds")
+    check_positive(parallel_seconds, "parallel_seconds")
+    check_positive(p, "p")
+    return p * parallel_seconds - serial_seconds
+
+
+def mflops(flops: float, seconds: float) -> float:
+    """Million floating-point operations per second."""
+    check_positive(seconds, "seconds")
+    return flops / seconds / 1.0e6

@@ -1,0 +1,241 @@
+"""Parallel backward substitution (``L^T X = Y``), paper Section 2.2.
+
+Mirror image of the forward solver: the computation starts at the root
+supernode and moves down the tree.  At each supernode, the solved values of
+ancestor variables (the supernode's below rows) are gathered from the
+processors that solved them; the rectangle's transpose times that vector is
+subtracted from the right-hand side of the supernode's own columns; then
+the transposed triangle is solved.
+
+On a shared supernode the paper's column-priority pipelined algorithm
+(Figure 4) is realised with an **accumulator ring**: for each block column
+``tau`` (processed last-to-first) a partial-sum accumulator travels the
+processor ring, each processor folding in the contributions of the row
+blocks it owns — including the already-solved triangle pieces — and the
+block's owner finishes with the transposed triangular solve.  Per supernode
+the critical path is ``(q - 1) + t/b`` pipeline steps of one ``b``-word
+message plus one block operation each, the paper's ``b(q-1) + t`` cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import SupernodeBlocks
+from repro.machine.events import SimResult, TaskGraph, simulate
+from repro.machine.spec import MachineSpec
+from repro.mapping.subtree_subcube import ProcSet
+from repro.numeric.frontal import trsm_lower_t
+from repro.numeric.supernodal import SupernodalFactor
+from repro.util.flops import gemm_flops, supernode_solve_flops, trsm_flops
+from repro.util.validation import require
+
+
+def build_backward_graph(
+    factor: SupernodalFactor,
+    assign: list[ProcSet],
+    spec: MachineSpec,
+    rhs: np.ndarray,
+    *,
+    b: int = 8,
+    nproc: int | None = None,
+) -> tuple[TaskGraph, np.ndarray]:
+    """Build the backward-substitution task graph.
+
+    Returns ``(graph, out)``; simulating the graph fills *out* with the
+    solution of ``L^T x = rhs`` (both in the permuted ordering).
+    """
+    stree = factor.stree
+    n = stree.n
+    rhs = np.ascontiguousarray(rhs, dtype=np.float64)
+    if rhs.ndim == 1:
+        rhs = rhs[:, None]
+    require(rhs.shape[0] == n, "rhs row count mismatch")
+    m = rhs.shape[1]
+    p = nproc or max(ps.stop for ps in assign)
+    g = TaskGraph(nproc=p)
+    out = np.zeros((n, m))
+    nsuper = stree.nsuper
+
+    # solved_by[c] = task id that writes out[c] (filled root -> leaves).
+    solved_by = np.full(n, -1, dtype=np.int64)
+
+    for s in reversed(stree.topo_order()):
+        sn = stree.supernodes[s]
+        blk = factor.blocks[s]
+        procs = assign[s]
+        t, ns = sn.t, sn.n
+        order = nsuper - 1 - s  # ascending priority root -> leaves
+
+        if procs.size == 1:
+            _add_sequential(g, s, order, sn, blk, procs.start, spec, rhs, out, solved_by, m)
+        else:
+            _add_pipelined(g, s, order, sn, blk, procs, spec, rhs, out, solved_by, m, b)
+
+    return g, out
+
+
+def _ancestor_deps(
+    g: TaskGraph, solved_by: np.ndarray, rows: np.ndarray, dst: int, m: int
+) -> None:
+    """Wire edges from the tasks that solved *rows* to task *dst*."""
+    tids, counts = np.unique(solved_by[rows], return_counts=True)
+    for tid, cnt in zip(tids, counts):
+        require(tid >= 0, "backward substitution scheduled before ancestors")
+        g.add_edge(int(tid), dst, words=int(cnt) * m)
+
+
+def _add_sequential(
+    g: TaskGraph,
+    s: int,
+    order: int,
+    sn,
+    blk: np.ndarray,
+    proc: int,
+    spec: MachineSpec,
+    rhs: np.ndarray,
+    out: np.ndarray,
+    solved_by: np.ndarray,
+    m: int,
+) -> None:
+    t, ns = sn.t, sn.n
+    col_lo, col_hi = sn.col_lo, sn.col_hi
+    below = sn.below
+
+    def run() -> None:
+        top = rhs[col_lo:col_hi].copy()
+        if ns > t:
+            top -= blk[t:, :].T @ out[below]
+        out[col_lo:col_hi] = trsm_lower_t(blk[:t, :t], top)
+
+    cost = spec.compute_time(supernode_solve_flops(ns, t, m), nrhs=m, calls=2)
+    tid = g.add_task(proc, cost, priority=(order, 0, 0, 0), label=f"sn{s}:seqT", run=run)
+    if ns > t:
+        _ancestor_deps(g, solved_by, below, tid, m)
+    solved_by[col_lo:col_hi] = tid
+
+
+def _add_pipelined(
+    g: TaskGraph,
+    s: int,
+    order: int,
+    sn,
+    blk: np.ndarray,
+    procs: ProcSet,
+    spec: MachineSpec,
+    rhs: np.ndarray,
+    out: np.ndarray,
+    solved_by: np.ndarray,
+    m: int,
+    b: int,
+) -> None:
+    t, ns = sn.t, sn.n
+    col_lo = sn.col_lo
+    blocks = SupernodeBlocks(n=ns, t=t, b=b, procs=procs)
+    ntb = blocks.n_tri_blocks
+    nb = blocks.nblocks
+    q = blocks.q
+
+    # z holds, per storage row, the solved value of that row's variable:
+    # triangle rows are filled by this supernode's diagonal solves, below
+    # rows by gather tasks reading ancestor solutions.
+    z = np.zeros((ns, m))
+
+    # ---- gather tasks for below blocks -------------------------------
+    ready_block = np.full(nb, -1, dtype=np.int64)  # task making z rows of block valid
+    for k in range(ntb, nb):
+        lo, hi = blocks.bounds(k)
+        rows = sn.rows[lo:hi]
+
+        def run_gather(lo=lo, hi=hi, rows=rows) -> None:
+            z[lo:hi] = out[rows]
+
+        cost = spec.compute_time(m * (hi - lo), nrhs=m, calls=1)
+        tid = g.add_task(
+            blocks.owner(k), cost, priority=(order, 0, k, 0), label=f"sn{s}:G{k}", run=run_gather
+        )
+        _ancestor_deps(g, solved_by, rows, tid, m)
+        ready_block[k] = tid
+
+    # ---- accumulator rings, block columns last to first --------------
+    for tau in range(ntb - 1, -1, -1):
+        tlo, thi = blocks.bounds(tau)
+        bt = thi - tlo
+        owner_t = blocks.owner(tau)
+        acc = np.zeros((bt, m))
+        prev: int | None = None
+        # The accumulator travels the ring in *descending* rank order and
+        # ends at the block's owner.  This direction matters: the
+        # contribution of x_{tau+1} lives one rank above owner(tau), so a
+        # descending wave lets acc_tau trail acc_{tau+1} by exactly one
+        # pipeline step (Figure 4's wavefront).  An ascending wave would
+        # serialise the rings and cost ntb * q steps instead of ntb + q.
+        # The chain starts at the farthest processor that owns any block
+        # below tau — when the supernode has fewer blocks than processors
+        # the idle prefix of the ring is skipped entirely.
+        max_offset = min(nb - 1 - tau, q - 1)
+        d_start = q - max_offset
+        for d in range(d_start, q + 1):
+            rank = blocks.ring_rank(owner_t, q - d)
+            local_blocks = [i for i in blocks.blocks_of(rank) if i > tau]
+            flops = sum(
+                gemm_flops(bt, blocks.size(i), m) for i in local_blocks
+            )
+
+            def run_acc(local_blocks=tuple(local_blocks), tlo=tlo, thi=thi, acc=acc) -> None:
+                for i in local_blocks:
+                    ilo, ihi = blocks.bounds(i)
+                    acc += blk[ilo:ihi, tlo:thi].T @ z[ilo:ihi]
+
+            cost = (
+                spec.compute_time(flops, nrhs=m, calls=len(local_blocks))
+                if local_blocks
+                else 0.0
+            )
+            tid = g.add_task(
+                rank,
+                cost,
+                priority=(order, 1, ntb - 1 - tau, d),
+                label=f"sn{s}:C{tau}.{d}",
+                run=run_acc if local_blocks else None,
+            )
+            if prev is not None:
+                g.add_edge(prev, tid, words=bt * m)
+            for i in local_blocks:
+                g.add_edge(int(ready_block[i]), tid)
+            prev = tid
+
+        def run_diag(tlo=tlo, thi=thi, acc=acc) -> None:
+            top = rhs[col_lo + tlo : col_lo + thi] - acc
+            x = trsm_lower_t(blk[tlo:thi, tlo:thi], top)
+            z[tlo:thi] = x
+            out[col_lo + tlo : col_lo + thi] = x
+
+        d_cost = spec.compute_time(trsm_flops(bt, m), nrhs=m, calls=1)
+        d_tid = g.add_task(
+            owner_t,
+            d_cost,
+            priority=(order, 1, ntb - 1 - tau, q + 1),
+            label=f"sn{s}:DT{tau}",
+            run=run_diag,
+        )
+        assert prev is not None
+        g.add_edge(prev, d_tid)  # ring ends at the owner; final hop is local
+        ready_block[tau] = d_tid
+        solved_by[col_lo + tlo : col_lo + thi] = d_tid
+
+
+def parallel_backward(
+    factor: SupernodalFactor,
+    assign: list[ProcSet],
+    spec: MachineSpec,
+    rhs: np.ndarray,
+    *,
+    b: int = 8,
+    nproc: int | None = None,
+) -> tuple[np.ndarray, SimResult]:
+    """Solve ``L^T x = rhs`` on the simulated machine."""
+    g, out = build_backward_graph(factor, assign, spec, rhs, b=b, nproc=nproc)
+    sim = simulate(g, spec)
+    squeeze = np.asarray(rhs).ndim == 1
+    return (out[:, 0] if squeeze else out), sim

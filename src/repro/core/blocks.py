@@ -1,0 +1,83 @@
+"""Row-block partitioning of a supernode's trapezoid.
+
+The pipelined solvers block the ``n`` storage rows of an ``n x t``
+supernode with block size ``b``, *aligned to the triangle boundary*: the
+first ``ceil(t/b)`` blocks tile the t triangle rows (so each diagonal
+solve block is a whole row block) and the remaining blocks tile the
+``n - t`` below rows starting fresh at ``t``.  Block ``k`` is owned by
+processor ``procs.start + k % q`` — block-cyclic, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.subtree_subcube import ProcSet
+from repro.util.blocks import block_count
+from repro.util.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class SupernodeBlocks:
+    """Triangle-aligned row blocks of one supernode over a processor set."""
+
+    n: int
+    t: int
+    b: int
+    procs: ProcSet
+
+    def __post_init__(self) -> None:
+        check_positive(self.b, "block size b")
+        require(0 < self.t <= self.n, "supernode needs 0 < t <= n")
+
+    @property
+    def q(self) -> int:
+        return self.procs.size
+
+    @property
+    def n_tri_blocks(self) -> int:
+        """Blocks covering the triangle rows [0, t)."""
+        return block_count(self.t, self.b)
+
+    @property
+    def n_below_blocks(self) -> int:
+        """Blocks covering the below rows [t, n)."""
+        return block_count(self.n - self.t, self.b) if self.n > self.t else 0
+
+    @property
+    def nblocks(self) -> int:
+        return self.n_tri_blocks + self.n_below_blocks
+
+    def bounds(self, k: int) -> tuple[int, int]:
+        """Half-open local storage-row range of block *k*."""
+        require(0 <= k < self.nblocks, f"block {k} out of range")
+        ntb = self.n_tri_blocks
+        if k < ntb:
+            lo = k * self.b
+            return lo, min(lo + self.b, self.t)
+        lo = self.t + (k - ntb) * self.b
+        return lo, min(lo + self.b, self.n)
+
+    def size(self, k: int) -> int:
+        lo, hi = self.bounds(k)
+        return hi - lo
+
+    def owner(self, k: int) -> int:
+        require(0 <= k < self.nblocks, f"block {k} out of range")
+        return self.procs.start + k % self.q
+
+    def is_triangle(self, k: int) -> bool:
+        return k < self.n_tri_blocks
+
+    def ring_rank(self, src_owner: int, d: int) -> int:
+        """Rank at ring distance *d* from *src_owner* within the proc set."""
+        local = (src_owner - self.procs.start + d) % self.q
+        return self.procs.start + local
+
+    def ring_distance(self, src_owner: int, dst_owner: int) -> int:
+        return (dst_owner - src_owner) % self.q
+
+    def blocks_of(self, rank: int) -> list[int]:
+        require(rank in self.procs, f"rank {rank} not in {self.procs}")
+        local = rank - self.procs.start
+        return list(range(local, self.nblocks, self.q))

@@ -1,0 +1,282 @@
+"""Forward elimination on a 2-D block-cyclic factor (the *unscalable* row).
+
+Figure 5 contrasts two ways to run the triangular solvers:
+
+* redistribute each supernode to a 1-D layout first (Section 4) and use
+  the pipelined algorithm — communication ``O(p^2 + N^{1/2} p)``,
+  isoefficiency ``O(p^2)``;
+* solve **directly on the 2-D factorization layout** — communication
+  ``O(N p^{1/2})`` *total over all levels*, which grows with the problem
+  size times sqrt(p): the solver is then *unscalable* (no isoefficiency
+  function exists — efficiency cannot be held by growing N).
+
+This module implements the second variant so the table's "Unscalable"
+entry is measurable: each supernode keeps the factorization's
+``qr x qc`` grid; solving block column J needs the sub-vector broadcast
+down J's processor column, partial products reduced across each processor
+row — ``O(t/b)`` collective pairs per supernode, each costing
+``O(log q)`` latency plus ``O(b * n / qr)`` volume.
+
+The numeric result is identical (verified); only the simulated timing
+differs.  ``bench_fig5_partitioning.py`` shows the crossover: for fixed N
+the 2-D variant's efficiency collapses while the 1-D variant follows the
+paper's p^2 isoefficiency.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.core.blocks import SupernodeBlocks
+from repro.machine.events import SimResult, TaskGraph, simulate
+from repro.machine.spec import MachineSpec
+from repro.mapping.layouts import BlockCyclic2D
+from repro.mapping.subtree_subcube import ProcSet
+from repro.numeric.frontal import trsm_lower
+from repro.numeric.supernodal import SupernodalFactor
+from repro.util.flops import gemm_flops, supernode_solve_flops, trsm_flops
+from repro.util.validation import require
+
+
+def build_forward_graph_2d(
+    factor: SupernodalFactor,
+    assign: list[ProcSet],
+    spec: MachineSpec,
+    rhs: np.ndarray,
+    *,
+    b: int = 8,
+    nproc: int | None = None,
+) -> tuple[TaskGraph, np.ndarray]:
+    """Forward solve with every shared supernode left in its 2-D layout."""
+    stree = factor.stree
+    n = stree.n
+    rhs = np.ascontiguousarray(rhs, dtype=np.float64)
+    if rhs.ndim == 1:
+        rhs = rhs[:, None]
+    require(rhs.shape[0] == n, "rhs row count mismatch")
+    m = rhs.shape[1]
+    p = nproc or max(ps.stop for ps in assign)
+    g = TaskGraph(nproc=p)
+    out = np.zeros((n, m))
+    z: dict[int, np.ndarray] = {}
+    # producers: supernode -> list of (task, global rows, local rows)
+    producers: dict[int, list[tuple[int, np.ndarray, np.ndarray]]] = {}
+
+    for s in stree.topo_order():
+        sn = stree.supernodes[s]
+        blk = factor.blocks[s]
+        procs = assign[s]
+        t, ns = sn.t, sn.n
+        zs = np.zeros((ns, m))
+        z[s] = zs
+        pos_of_global = {int(gr): i for i, gr in enumerate(sn.rows)}
+        feeds = []
+        for c in stree.children[s]:
+            for tid_c, rows_c, loc_c in producers.pop(c, []):
+                tgt = np.fromiter(
+                    (pos_of_global[int(gr)] for gr in rows_c),
+                    dtype=np.int64,
+                    count=rows_c.shape[0],
+                )
+                feeds.append((tid_c, z[c], tgt, loc_c))
+
+        if procs.size == 1:
+            producers[s] = _sequential(g, s, sn, blk, procs.start, spec, rhs, out, zs, feeds, m)
+        else:
+            producers[s] = _two_d_supernode(
+                g, s, sn, blk, procs, spec, rhs, out, zs, feeds, m, b
+            )
+    return g, out
+
+
+def _assemble(zs: np.ndarray, feeds, t: int) -> None:
+    for _, zc, tgt, src in feeds:
+        tri = tgt < t
+        if tri.any():
+            zs[tgt[tri]] -= zc[src[tri]]
+        low = ~tri
+        if low.any():
+            zs[tgt[low]] += zc[src[low]]
+
+
+def _sequential(g, s, sn, blk, proc, spec, rhs, out, zs, feeds, m):
+    t, ns = sn.t, sn.n
+    col_lo, col_hi = sn.col_lo, sn.col_hi
+
+    def run() -> None:
+        zs[:t] = rhs[col_lo:col_hi]
+        _assemble(zs, feeds, t)
+        x = trsm_lower(blk[:t, :t], zs[:t])
+        zs[:t] = x
+        out[col_lo:col_hi] = x
+        if ns > t:
+            zs[t:] += blk[t:, :] @ x
+
+    assemble_rows = sum(tgt.shape[0] for _, _, tgt, _ in feeds)
+    cost = spec.compute_time(
+        supernode_solve_flops(ns, t, m) + m * assemble_rows, nrhs=m, calls=3
+    )
+    tid = g.add_task(proc, cost, priority=(s, 0, 0, 0), label=f"s2{s}:seq", run=run)
+    for tid_c, _, tgt, _ in feeds:
+        g.add_edge(tid_c, tid, words=tgt.shape[0] * m)
+    if ns == t:
+        return []
+    return [(tid, sn.rows[t:], np.arange(t, ns, dtype=np.int64))]
+
+
+def _two_d_supernode(g, s, sn, blk, procs, spec, rhs, out, zs, feeds, m, b):
+    """One shared supernode, kept on its qr x qc factorization grid.
+
+    Per block column J: solve the diagonal block at its owner; broadcast
+    the solved piece down J's processor *column* (log qr steps, modeled as
+    direct edges); each grid processor updates its local row blocks; the
+    row-block results must then be *reduced across the processor row*
+    (qc - 1 messages of b*m words each, modeled as a message chain into
+    the row's "home" processor — the O(n/qr * qc)-volume term that makes
+    this variant unscalable).
+    """
+    t, ns = sn.t, sn.n
+    col_lo = sn.col_lo
+    blocks = SupernodeBlocks(n=ns, t=t, b=b, procs=procs)
+    layout = BlockCyclic2D(n=ns, t=t, b=b, procs=procs)
+    qr, qc = layout.grid
+    ntb = blocks.n_tri_blocks
+    nb = blocks.nblocks
+
+    def owner2d(i: int, j: int) -> int:
+        return procs.start + (i % qr) * qc + (j % qc)
+
+    # entry assembly at each row block's home (grid column of its diagonal)
+    assemble_tid: list[int] = []
+    for k in range(nb):
+        lo, hi = blocks.bounds(k)
+        is_tri = blocks.is_triangle(k)
+        k_feeds = [f for f in feeds if np.any((f[2] >= lo) & (f[2] < hi))]
+
+        def run(lo=lo, hi=hi, is_tri=is_tri, k_feeds=tuple(k_feeds)) -> None:
+            if is_tri:
+                zs[lo:hi] = rhs[col_lo + lo : col_lo + hi]
+            sel_feeds = []
+            for tid_c, zc, tgt, src in k_feeds:
+                mask = (tgt >= lo) & (tgt < hi)
+                sel_feeds.append((tid_c, zc, tgt[mask], src[mask]))
+            _assemble(zs, sel_feeds, t)
+
+        home = owner2d(k, min(k, layout.ncol_blocks - 1))
+        tid = g.add_task(
+            home,
+            spec.compute_time(m * (hi - lo), nrhs=m, calls=1),
+            priority=(s, 0, k, 0),
+            label=f"s2{s}:A{k}",
+            run=run,
+        )
+        for tid_c, _, tgt, _ in k_feeds:
+            words = int(np.sum((tgt >= lo) & (tgt < hi))) * m
+            g.add_edge(tid_c, tid, words=words)
+        assemble_tid.append(tid)
+
+    reduce_tids: list[list[int]] = [[] for _ in range(nb)]
+    last_for_block: list[int] = list(assemble_tid)
+
+    for j in range(ntb):
+        jlo, jhi = blocks.bounds(j)
+        bj = jhi - jlo
+        diag_owner = owner2d(j, j)
+
+        def run_diag(jlo=jlo, jhi=jhi) -> None:
+            x = trsm_lower(blk[jlo:jhi, jlo:jhi], zs[jlo:jhi])
+            zs[jlo:jhi] = x
+            out[col_lo + jlo : col_lo + jhi] = x
+
+        d_tid = g.add_task(
+            diag_owner,
+            spec.compute_time(trsm_flops(bj, m), nrhs=m, calls=1),
+            priority=(s, 1, j, 0),
+            label=f"s2{s}:D{j}",
+            run=run_diag,
+        )
+        g.add_edge(last_for_block[j], d_tid)
+        for rtid in reduce_tids[j]:
+            g.add_edge(rtid, d_tid)
+
+        # Broadcast x_j down grid column (j % qc) as a binomial tree:
+        # log2(qr) latency levels, each hop a real (t_s + t_w b m) message.
+        # This is the per-column-step collective whose latency, repeated
+        # serially for every block column, makes the 2-D layout unscalable.
+        col_ranks = [procs.start + gr * qc + (j % qc) for gr in range(qr)]
+        diag_pos = col_ranks.index(diag_owner)
+        ordered = col_ranks[diag_pos:] + col_ranks[:diag_pos]
+        bcast_targets: dict[int, int] = {diag_owner: d_tid}
+        have = 1
+        while have < len(ordered):
+            for src_idx in range(min(have, len(ordered) - have)):
+                dst_idx = src_idx + have
+                dst_rank = ordered[dst_idx]
+                src_tid = bcast_targets[ordered[src_idx]]
+                r_tid = g.add_task(
+                    dst_rank, 0.0, priority=(s, 1, j, 1 + dst_idx), label=f"s2{s}:B{j}.{dst_idx}"
+                )
+                g.add_edge(src_tid, r_tid, words=bj * m)
+                bcast_targets[dst_rank] = r_tid
+            have *= 2
+
+        # local updates + row reductions
+        for i in range(j + 1, nb):
+            ilo, ihi = blocks.bounds(i)
+            bi = ihi - ilo
+            upd_owner = owner2d(i, j)
+            sign = -1.0 if blocks.is_triangle(i) else 1.0
+
+            def run_update(ilo=ilo, ihi=ihi, jlo=jlo, jhi=jhi, sign=sign) -> None:
+                zs[ilo:ihi] += sign * (blk[ilo:ihi, jlo:jhi] @ zs[jlo:jhi])
+
+            u_tid = g.add_task(
+                upd_owner,
+                spec.compute_time(gemm_flops(bi, bj, m), nrhs=m, calls=1),
+                priority=(s, 1, j, 10 + i),
+                label=f"s2{s}:U{i}.{j}",
+                run=run_update,
+            )
+            g.add_edge(bcast_targets[upd_owner], u_tid)
+            g.add_edge(last_for_block[i], u_tid)
+            last_for_block[i] = u_tid
+            # the partial result lives on grid column j%qc; ship it to the
+            # row's home column (i's diagonal column) — this is the extra
+            # O(b m) message per (i, j) pair that 1-D layouts avoid
+            home = owner2d(i, min(i, layout.ncol_blocks - 1))
+            if home != upd_owner:
+                r_tid = g.add_task(
+                    home, 0.0, priority=(s, 1, j, 10 + i), label=f"s2{s}:R{i}.{j}"
+                )
+                g.add_edge(u_tid, r_tid, words=bi * m)
+                last_for_block[i] = r_tid
+            if i < ntb:
+                reduce_tids[i].append(last_for_block[i])
+
+    # exports
+    prods = []
+    for k in range(blocks.n_tri_blocks, nb):
+        lo, hi = blocks.bounds(k)
+        s_tid = g.add_task(
+            g.tasks[last_for_block[k]].proc, 0.0, priority=(s, 2, k, 0), label=f"s2{s}:S{k}"
+        )
+        g.add_edge(last_for_block[k], s_tid)
+        prods.append((s_tid, sn.rows[lo:hi], np.arange(lo, hi, dtype=np.int64)))
+    return prods
+
+
+def parallel_forward_2d(
+    factor: SupernodalFactor,
+    assign: list[ProcSet],
+    spec: MachineSpec,
+    rhs: np.ndarray,
+    *,
+    b: int = 8,
+    nproc: int | None = None,
+) -> tuple[np.ndarray, SimResult]:
+    """Solve ``L y = rhs`` without redistributing from the 2-D layout."""
+    g, out = build_forward_graph_2d(factor, assign, spec, rhs, b=b, nproc=nproc)
+    sim = simulate(g, spec)
+    squeeze = np.asarray(rhs).ndim == 1
+    return (out[:, 0] if squeeze else out), sim

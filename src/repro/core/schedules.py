@@ -1,0 +1,190 @@
+"""Idealized step schedules for pipelined trapezoid processing.
+
+These reproduce the time-step diagrams of the paper's Figure 3 (forward
+elimination) and Figure 4 (backward substitution) on a hypothetical
+``n x t`` supernode: each entry of the returned matrix is the time step at
+which the corresponding block of L is *used*.  Communication delays are
+ignored and every block operation costs one step — exactly the figure's
+assumptions — so these serve both as documentation and as an oracle the
+event-simulated algorithms are tested against.
+
+Block (i, j) of the lower trapezoid (i >= j, i < n_b, j < t_b) is:
+
+* a diagonal (triangular-solve) block when ``i == j``;
+* an update (multiply-subtract) block when ``i > j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require
+
+
+def _trapezoid_mask(nb: int, tb: int) -> np.ndarray:
+    """Boolean mask of blocks present in the lower trapezoid."""
+    require(nb >= tb, "trapezoid needs n >= t")
+    mask = np.zeros((nb, tb), dtype=bool)
+    for i in range(nb):
+        for j in range(min(i + 1, tb)):
+            mask[i, j] = True
+    return mask
+
+
+def pram_forward_schedule(nb: int, tb: int) -> np.ndarray:
+    """Figure 3(a): EREW-PRAM with unlimited processors.
+
+    Block (i, j) can run as soon as the diagonal solve of column j is done
+    and (for diagonal blocks) all updates to row i from previous columns
+    have been applied.  The resulting wavefront moves along the
+    anti-diagonals: step(i, j) = i + j + 1 (1-based), which shows the
+    paper's observation that at most max(t, n/2) processors are ever busy.
+    """
+    mask = _trapezoid_mask(nb, tb)
+    step = np.zeros((nb, tb), dtype=np.int64)
+    step[mask] = (np.add.outer(np.arange(nb), np.arange(tb)) + 1)[mask]
+    return step
+
+
+def pipelined_forward_schedule(nb: int, tb: int, q: int, *, priority: str = "column") -> np.ndarray:
+    """Figures 3(b)/(c): pipelined forward elimination, cyclic row mapping.
+
+    Rows are distributed cyclically over ``q`` processors (row block i is
+    owned by processor ``i mod q``).  Each processor executes one block per
+    step; the solved piece of column j becomes visible to processor ``k``
+    one hop (one step) after processor ``k-1`` used it.  ``priority``
+    selects what a processor works on when it has a choice: "column"
+    finishes the current column first, "row" finishes the current row.
+    """
+    require(q >= 1, "q must be >= 1")
+    if priority not in ("column", "row"):
+        raise ValueError(f"priority must be 'column' or 'row', got {priority!r}")
+    mask = _trapezoid_mask(nb, tb)
+    step = np.zeros((nb, tb), dtype=np.int64)
+    proc_free = np.zeros(q, dtype=np.int64)  # next free step per proc
+    # x_avail[j][p]: first step at which x_j is available on processor p.
+    INF = np.iinfo(np.int64).max // 4
+    x_avail = np.full((tb, q), INF, dtype=np.int64)
+
+    # Ready set processed greedily in global time order with the chosen
+    # priority as tie-break; this mirrors the event simulator's policy.
+    done = np.zeros((nb, tb), dtype=bool)
+
+    def deps_ready_step(i: int, j: int) -> int:
+        """Earliest step block (i, j) may run, given completed deps."""
+        p = i % q
+        earliest = 1
+        if i == j:
+            # Diagonal solve: all updates (i, j') j' < j must be done
+            # (they are local to processor p).
+            for jp in range(j):
+                if not done[i, jp]:
+                    return INF
+                earliest = max(earliest, int(step[i, jp]) + 1)
+        else:
+            if not done[j, j]:
+                return INF
+            earliest = max(earliest, int(x_avail[j, p]))
+        return earliest
+
+    remaining = int(mask.sum())
+    while remaining:
+        # Find, per processor, the best runnable block.
+        best: dict[int, tuple[tuple, int, int, int]] = {}
+        for i in range(nb):
+            p = i % q
+            for j in range(min(i + 1, tb)):
+                if done[i, j]:
+                    continue
+                est = deps_ready_step(i, j)
+                if est >= INF:
+                    continue
+                run_at = max(est, int(proc_free[p]) + 1)
+                key = (run_at, (j, i) if priority == "column" else (i, j))
+                if p not in best or key < best[p][0]:
+                    best[p] = (key, i, j, run_at)
+        if not best:
+            raise RuntimeError("schedule deadlock")  # pragma: no cover
+        # Commit the globally earliest block (deterministic tie-break).
+        (key, i, j, run_at) = min(best.values())
+        p = i % q
+        step[i, j] = run_at
+        done[i, j] = True
+        proc_free[p] = run_at
+        remaining -= 1
+        if i == j:
+            # Solved piece x_j: available locally right away, and ripples
+            # to the following processors one step per hop.
+            for d in range(q):
+                dst = (p + d) % q
+                x_avail[j, dst] = run_at + 1 + d
+    return step
+
+
+def pipelined_backward_schedule(nb: int, tb: int, q: int) -> np.ndarray:
+    """Figure 4: column-priority pipelined backward substitution.
+
+    The supernode is the transposed trapezoid (t rows, n columns in the
+    paper's orientation); here we keep the same (i, j) block indexing as
+    the forward schedules — entry (i, j) is the step at which block (i, j)
+    of L (equivalently block (j, i) of L^T) is used.  Processing runs from
+    the last block column to the first, with the accumulator for column j
+    visiting processors in ring order and the diagonal solve last.
+    """
+    mask = _trapezoid_mask(nb, tb)
+    step = np.zeros((nb, tb), dtype=np.int64)
+    proc_free = np.zeros(q, dtype=np.int64)
+    done = np.zeros((nb, tb), dtype=bool)
+    INF = np.iinfo(np.int64).max // 4
+    # x_avail[i][p]: step after which x of row-block i (solved or gathered
+    # from the parent) is available at processor p.  Below-blocks (i >= tb)
+    # are available from the start on their owner.
+    x_avail = np.full((nb, q), INF, dtype=np.int64)
+    for i in range(tb, nb):
+        x_avail[i, i % q] = 1
+
+    remaining = int(mask.sum())
+
+    def deps_ready_step(i: int, j: int) -> int:
+        p = i % q
+        if i == j:
+            # Diagonal (transposed) solve: needs every update of column j.
+            earliest = 1
+            for ip in range(j + 1, nb):
+                if not done[ip, j]:
+                    return INF
+                # Cross-processor contributions ride the accumulator ring;
+                # one hop per step from the contributor to the owner.
+                src = ip % q
+                hops = (p - src) % q
+                earliest = max(earliest, int(step[ip, j]) + 1 + hops)
+            return earliest
+        # Update block (i, j): needs x of row-block i.
+        return int(x_avail[i, p]) if x_avail[i, p] < INF else INF
+
+    while remaining:
+        best: dict[int, tuple[tuple, int, int, int]] = {}
+        for j in range(tb - 1, -1, -1):
+            for i in range(j, nb):
+                if not mask[i, j] or done[i, j]:
+                    continue
+                est = deps_ready_step(i, j)
+                if est >= INF:
+                    continue
+                p = i % q
+                run_at = max(est, int(proc_free[p]) + 1)
+                key = (run_at, (tb - 1 - j, i))  # column priority, j descending
+                if p not in best or key < best[p][0]:
+                    best[p] = (key, i, j, run_at)
+        if not best:
+            raise RuntimeError("schedule deadlock")  # pragma: no cover
+        (key, i, j, run_at) = min(best.values())
+        p = i % q
+        step[i, j] = run_at
+        done[i, j] = True
+        proc_free[p] = run_at
+        remaining -= 1
+        if i == j:
+            for d in range(q):
+                x_avail[j, (p + d) % q] = run_at + 1 + d
+    return step

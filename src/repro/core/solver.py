@@ -1,0 +1,237 @@
+"""End-to-end parallel sparse SPD solver.
+
+:class:`ParallelSparseSolver` strings the phases together exactly as the
+paper's experimental code does:
+
+1. fill-reducing ordering + symbolic factorization (``repro.symbolic``);
+2. numeric supernodal Cholesky (``repro.numeric``), with a modeled
+   factorization time for the requested processor count;
+3. 2-D -> 1-D redistribution of the factor (``repro.mapping``), with its
+   simulated cost;
+4. simulated-parallel forward elimination and backward substitution
+   (``repro.core.forward`` / ``repro.core.backward``).
+
+``solve`` returns the solution in the *original* ordering plus a
+:class:`SolveReport` containing every quantity Figure 7 tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.backward import parallel_backward
+from repro.core.factor_model import parallel_factor_time, serial_factor_time
+from repro.core.forward import parallel_forward
+from repro.machine.events import SimResult
+from repro.machine.presets import cray_t3d
+from repro.machine.spec import MachineSpec
+from repro.mapping.redistribution import total_redistribution_time
+from repro.mapping.subtree_subcube import ProcSet, subtree_to_subcube
+from repro.numeric.supernodal import SupernodalFactor, cholesky_supernodal
+from repro.sparse.csc import SymCSC
+from repro.symbolic.analyze import SymbolicFactor, analyze
+from repro.util.validation import check_power_of_two, require
+
+
+@dataclass
+class TrisolveRun:
+    """Timing and verification data for one triangular-solve phase."""
+
+    seconds: float
+    flops: int
+    sim: SimResult | None = None
+
+    @property
+    def mflops(self) -> float:
+        return self.flops / self.seconds / 1e6 if self.seconds > 0 else float("inf")
+
+
+@dataclass
+class SolveReport:
+    """Everything the paper's Figure 7 reports for one (matrix, p, NRHS)."""
+
+    n: int
+    p: int
+    nrhs: int
+    factor_seconds: float
+    factor_flops: float
+    redistribute_seconds: float
+    forward: TrisolveRun
+    backward: TrisolveRun
+    residual: float | None = None
+
+    @property
+    def fbsolve_seconds(self) -> float:
+        """Total forward+backward time (the paper's "FBsolve time")."""
+        return self.forward.seconds + self.backward.seconds
+
+    @property
+    def fbsolve_mflops(self) -> float:
+        total = self.forward.flops + self.backward.flops
+        return total / self.fbsolve_seconds / 1e6 if self.fbsolve_seconds > 0 else float("inf")
+
+    @property
+    def factor_mflops(self) -> float:
+        return self.factor_flops / self.factor_seconds / 1e6 if self.factor_seconds else 0.0
+
+    @property
+    def redistribution_ratio(self) -> float:
+        """Redistribution time over FBsolve time (paper: <= 0.9, avg ~0.5)."""
+        return self.redistribute_seconds / self.fbsolve_seconds if self.fbsolve_seconds else 0.0
+
+
+@dataclass
+class ParallelSparseSolver:
+    """Direct solver for sparse SPD systems on the simulated machine.
+
+    Parameters
+    ----------
+    a :
+        The SPD coefficient matrix.
+    p :
+        Number of (simulated) processors; a power of two.
+    spec :
+        Machine parameters; defaults to the Cray-T3D-like preset.
+    b :
+        Block size of the block-cyclic supernode partitioning.
+    ordering :
+        Fill-reducing ordering method (see :func:`repro.ordering.order`).
+    variant :
+        "column" or "row" priority for the pipelined forward solver.
+    relax :
+        Supernode amalgamation slack (see
+        :func:`repro.symbolic.find_supernodes`).
+    """
+
+    a: SymCSC
+    p: int = 1
+    spec: MachineSpec = field(default_factory=cray_t3d)
+    b: int = 8
+    ordering: str = "nested_dissection"
+    variant: str = "column"
+    relax: int = 0
+    factor_time_mode: str = "model"  # "model" (closed form) | "simulate"
+
+    # Filled by prepare():
+    symbolic: SymbolicFactor | None = None
+    factor: SupernodalFactor | None = None
+    assign: list[ProcSet] | None = None
+    _factor_seconds: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.p, "p")
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> "ParallelSparseSolver":
+        """Run ordering, symbolic analysis, numeric factorization, mapping."""
+        self.symbolic = analyze(self.a, method=self.ordering, relax=self.relax)
+        self.factor = cholesky_supernodal(self.symbolic)
+        self.assign = subtree_to_subcube(self.symbolic.stree, self.p)
+        return self
+
+    def _require_prepared(self) -> tuple[SymbolicFactor, SupernodalFactor, list[ProcSet]]:
+        require(
+            self.symbolic is not None and self.factor is not None and self.assign is not None,
+            "call prepare() before solve()",
+        )
+        return self.symbolic, self.factor, self.assign  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def factorization_seconds(self) -> float:
+        """Factorization time on p processors (serial sum at p=1).
+
+        ``factor_time_mode="model"`` uses the closed-form critical-path
+        model; ``"simulate"`` runs the full 2-D block-cyclic task graph
+        through the event simulator (slower, higher fidelity).  The result
+        is cached per solver instance.
+        """
+        if self._factor_seconds is not None:
+            return self._factor_seconds
+        sym, _, assign = self._require_prepared()
+        if self.p == 1:
+            out = serial_factor_time(self.spec, sym.stree)
+        elif self.factor_time_mode == "simulate":
+            from repro.core.parallel_factor import simulated_factor_time
+
+            out, _ = simulated_factor_time(
+                self.spec, sym.stree, assign, b=self.b, nproc=self.p
+            )
+        elif self.factor_time_mode == "model":
+            out = parallel_factor_time(self.spec, sym.stree, assign, b=self.b)
+        else:
+            raise ValueError(
+                f"factor_time_mode must be 'model' or 'simulate', got "
+                f"{self.factor_time_mode!r}"
+            )
+        self._factor_seconds = out
+        return out
+
+    def redistribution_seconds(self) -> float:
+        """Simulated 2-D -> 1-D factor redistribution time."""
+        sym, _, assign = self._require_prepared()
+        return total_redistribution_time(self.spec, sym.stree, assign)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, bvec: np.ndarray, *, check: bool = True, refine: int = 0
+    ) -> tuple[np.ndarray, SolveReport]:
+        """Solve ``A x = b`` and report per-phase simulated times.
+
+        *bvec* may be a vector or an ``(n, nrhs)`` block.  The returned
+        solution is in the original (pre-permutation) ordering.
+        ``refine`` adds that many steps of iterative refinement
+        (``x += A^{-1}(b - A x)``); each step re-runs both triangular
+        solves, and their simulated time is accumulated in the report.
+        """
+        sym, factor, assign = self._require_prepared()
+        bvec = np.asarray(bvec, dtype=np.float64)
+        squeeze = bvec.ndim == 1
+        bmat = bvec[:, None] if squeeze else bvec
+        require(bmat.shape[0] == self.a.n, "rhs size mismatch")
+        require(bmat.shape[1] > 0, "rhs must have at least one column")
+        require(refine >= 0, "refine must be >= 0")
+        nrhs = bmat.shape[1]
+
+        x, fwd_seconds, bwd_seconds, fwd_sim, bwd_sim = self._one_solve(bmat)
+        for _ in range(refine):
+            from repro.sparse.ops import matvec
+
+            residual = bmat - matvec(self.a, x)
+            dx, fs, bs, _, _ = self._one_solve(residual)
+            x = x + dx
+            fwd_seconds += fs
+            bwd_seconds += bs
+
+        solve_flops = sym.stree.solve_flops(nrhs) * (1 + refine)
+        report = SolveReport(
+            n=self.a.n,
+            p=self.p,
+            nrhs=nrhs,
+            factor_seconds=self.factorization_seconds(),
+            factor_flops=sym.stree.factor_flops(),
+            redistribute_seconds=self.redistribution_seconds(),
+            forward=TrisolveRun(seconds=fwd_seconds, flops=solve_flops, sim=fwd_sim),
+            backward=TrisolveRun(seconds=bwd_seconds, flops=solve_flops, sim=bwd_sim),
+        )
+        if check:
+            from repro.sparse.ops import relative_residual
+
+            report.residual = relative_residual(self.a, x, bmat)
+        return (x[:, 0] if squeeze else x), report
+
+    def _one_solve(
+        self, bmat: np.ndarray
+    ) -> tuple[np.ndarray, float, float, SimResult, SimResult]:
+        """One forward+backward pass; returns x (original order) and times."""
+        sym, factor, assign = self._require_prepared()
+        b_perm = sym.perm.apply_to_vector(bmat)
+        y, fwd_sim = parallel_forward(
+            factor, assign, self.spec, b_perm, b=self.b, variant=self.variant, nproc=self.p
+        )
+        x_perm, bwd_sim = parallel_backward(
+            factor, assign, self.spec, y, b=self.b, nproc=self.p
+        )
+        x = sym.perm.unapply_to_vector(x_perm)
+        return x, fwd_sim.makespan, bwd_sim.makespan, fwd_sim, bwd_sim

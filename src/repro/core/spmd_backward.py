@@ -1,0 +1,235 @@
+"""Rank-local (SPMD) implementation of parallel backward substitution.
+
+Mirror of :mod:`repro.core.spmd_forward`, in the paper's Section 2.2
+structure: root supernode first; each supernode gathers the solved values
+of its below rows from the ancestors that produced them, then runs the
+column-priority pipelined transposed solve with the *descending
+accumulator ring* of Figure 4 (each block column's partial sums travel
+from the highest ring rank down to the column's owner, trailing the
+previous column's wave by one hop).
+
+Message protocol:
+
+* ancestor solved values -> descendant: tag encodes (producing supernode,
+  consuming supernode, consumer block); producers ship each piece as soon
+  as the producing supernode is solved;
+* accumulator piece for column tau of supernode s: tag = ``TAG_ACC +
+  s * MAXB + tau``, hopping ring rank to ring rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import SupernodeBlocks
+from repro.machine.spec import MachineSpec
+from repro.machine.spmd import Env, SpmdResult, run_spmd
+from repro.mapping.subtree_subcube import ProcSet
+from repro.numeric.frontal import trsm_lower_t
+from repro.numeric.supernodal import SupernodalFactor
+from repro.util.flops import gemm_flops, trsm_flops
+from repro.util.validation import require
+
+MAXB = 1 << 20
+TAG_X = 2 << 40
+TAG_ACC = 3 << 40
+
+
+def _solver_rank_of_column(stree, assign, blocks) -> np.ndarray:
+    """rank that computes (and can send) the solved value of each column."""
+    n = stree.n
+    owner = np.empty(n, dtype=np.int64)
+    for s in stree.topo_order():
+        sn = stree.supernodes[s]
+        sb = blocks[s]
+        if sb is None:
+            owner[sn.col_lo : sn.col_hi] = assign[s].start
+        else:
+            for tau in range(sb.n_tri_blocks):
+                lo, hi = sb.bounds(tau)
+                owner[sn.col_lo + lo : sn.col_lo + hi] = sb.owner(tau)
+    return owner
+
+
+def spmd_backward(
+    factor: SupernodalFactor,
+    assign: list[ProcSet],
+    spec: MachineSpec,
+    rhs: np.ndarray,
+    *,
+    b: int = 8,
+    nproc: int | None = None,
+) -> tuple[np.ndarray, SpmdResult]:
+    """Solve ``L^T x = rhs`` with the SPMD formulation."""
+    stree = factor.stree
+    n = stree.n
+    rhs = np.ascontiguousarray(rhs, dtype=np.float64)
+    squeeze = rhs.ndim == 1
+    if squeeze:
+        rhs = rhs[:, None]
+    require(rhs.shape[0] == n, "rhs row count mismatch")
+    m = rhs.shape[1]
+    size = nproc or max(ps.stop for ps in assign)
+
+    blocks: list[SupernodeBlocks | None] = [
+        SupernodeBlocks(n=sn.n, t=sn.t, b=b, procs=assign[s])
+        if assign[s].size > 1
+        else None
+        for s, sn in enumerate(stree.supernodes)
+    ]
+    col_rank = _solver_rank_of_column(stree, assign, blocks)
+    # map every column to the supernode that solves it
+    col_to_sn = np.empty(n, dtype=np.int64)
+    for si, sn_ in enumerate(stree.supernodes):
+        col_to_sn[sn_.col_lo : sn_.col_hi] = si
+    out = np.zeros((n, m))
+
+    def _tag(s_prod: int, s_cons: int, k: int) -> int:
+        return TAG_X + ((s_prod * stree.nsuper + s_cons) * MAXB) + k
+
+    # Shared routing plan.  Consumers gather per (block, producing rank,
+    # producing supernode); producers send each outgoing piece *as soon as
+    # the producing supernode finishes* (keyed by producer supernode), so
+    # no consumer waits on unrelated work in the producer's program order.
+    gathers: dict[int, list[tuple[int, int, int, int, np.ndarray, np.ndarray]]] = {}
+    outgoing: dict[int, dict[int, list[tuple[int, int, int, np.ndarray]]]] = {
+        r: {} for r in range(size)
+    }
+    for s in reversed(stree.topo_order()):
+        sn = stree.supernodes[s]
+        sb = blocks[s]
+        plan: list[tuple[int, int, int, int, np.ndarray, np.ndarray]] = []
+        if sn.n > sn.t:
+            if sb is None:
+                pieces = [(0, assign[s].start, np.arange(sn.t, sn.n, dtype=np.int64))]
+            else:
+                pieces = [
+                    (k, sb.owner(k), np.arange(*sb.bounds(k), dtype=np.int64))
+                    for k in range(sb.n_tri_blocks, sb.nblocks)
+                ]
+            for k, dst_rank, local_rows in pieces:
+                rows = sn.rows[local_rows]
+                producers = col_rank[rows]
+                prod_sn = col_to_sn[rows]
+                for src in np.unique(producers):
+                    for sp in np.unique(prod_sn[producers == src]):
+                        sel = (producers == src) & (prod_sn == sp)
+                        plan.append(
+                            (k, dst_rank, int(src), int(sp), rows[sel], local_rows[sel])
+                        )
+                        if int(src) != dst_rank:
+                            outgoing[int(src)].setdefault(int(sp), []).append(
+                                (s, k, dst_rank, rows[sel])
+                            )
+        gathers[s] = plan
+
+    def program(rank: int, env: Env):
+        for s in reversed(stree.topo_order()):
+            sn = stree.supernodes[s]
+            procs = assign[s]
+            in_procs = rank in procs
+            blk = factor.blocks[s]
+            t, ns = sn.t, sn.n
+            col_lo, col_hi = sn.col_lo, sn.col_hi
+            sb = blocks[s]
+
+            if not in_procs:
+                continue
+
+            zs = np.zeros((ns, m))
+            # ---- gather below values this rank consumes ---------------
+            gather_rows = 0
+            for (k, dst_rank, src, sp, rows, local_rows) in gathers[s]:
+                if dst_rank != rank:
+                    continue
+                if src == rank:
+                    zs[local_rows] = out[rows]
+                else:
+                    vals = yield env.recv(src, tag=_tag(sp, s, k))
+                    zs[local_rows] = vals
+                gather_rows += local_rows.shape[0]
+            if gather_rows:
+                yield env.compute(flops=gather_rows * m, nrhs=m)
+
+            if sb is None:
+                top = rhs[col_lo:col_hi].copy()
+                if ns > t:
+                    top -= blk[t:, :].T @ zs[t:]
+                x = trsm_lower_t(blk[:t, :t], top)
+                out[col_lo:col_hi] = x
+                yield env.compute(
+                    flops=trsm_flops(t, m) + gemm_flops(ns - t, t, m), nrhs=m
+                )
+                for (cons_s, k, dst_rank, rows) in outgoing[rank].get(s, []):
+                    yield env.send(
+                        dst_rank,
+                        data=out[rows].copy(),
+                        words=rows.shape[0] * m,
+                        tag=_tag(s, cons_s, k),
+                    )
+                continue
+
+            # ---- pipelined shared supernode: descending acc rings -----
+            q = sb.q
+            ntb = sb.n_tri_blocks
+            nb = sb.nblocks
+            my_blocks = sb.blocks_of(rank)
+            for tau in range(ntb - 1, -1, -1):
+                tlo, thi = sb.bounds(tau)
+                bt = thi - tlo
+                owner_t = sb.owner(tau)
+                tag = TAG_ACC + s * MAXB + tau
+                max_offset = min(nb - 1 - tau, q - 1)
+                # descending ring positions: offset max_offset .. 1, then owner
+                my_offset = (rank - owner_t) % q
+                participates = my_offset <= max_offset
+                if not participates and rank != owner_t:
+                    continue
+                # Local contributions are independent of the incoming
+                # accumulator, so compute them *before* blocking on the
+                # ring message — overlapping computation with the wave's
+                # latency exactly as the pipelined schedule intends.
+                local = np.zeros((bt, m))
+                flops = 0
+                for i in my_blocks:
+                    if i <= tau:
+                        continue
+                    ilo, ihi = sb.bounds(i)
+                    local += blk[ilo:ihi, tlo:thi].T @ zs[ilo:ihi]
+                    flops += gemm_flops(bt, ihi - ilo, m)
+                if flops:
+                    yield env.compute(flops=flops, nrhs=m)
+                # receive the accumulator from the next-higher offset
+                if my_offset < max_offset or (rank == owner_t and max_offset > 0):
+                    src = sb.ring_rank(owner_t, my_offset + 1)
+                    acc = yield env.recv(src, tag=tag)
+                    acc = acc + local
+                else:
+                    acc = local
+                if rank == owner_t:
+                    x = trsm_lower_t(
+                        blk[tlo:thi, tlo:thi], rhs[col_lo + tlo : col_lo + thi] - acc
+                    )
+                    zs[tlo:thi] = x
+                    out[col_lo + tlo : col_lo + thi] = x
+                    yield env.compute(flops=trsm_flops(bt, m), nrhs=m)
+                else:
+                    yield env.send(
+                        sb.ring_rank(owner_t, my_offset - 1)
+                        if my_offset > 1
+                        else owner_t,
+                        data=acc,
+                        words=bt * m,
+                        tag=tag,
+                    )
+            # all of this rank's columns of s are now solved: ship them
+            for (cons_s, k, dst_rank, rows) in outgoing[rank].get(s, []):
+                yield env.send(
+                    dst_rank,
+                    data=out[rows].copy(),
+                    words=rows.shape[0] * m,
+                    tag=_tag(s, cons_s, k),
+                )
+
+    result = run_spmd(program, size, spec)
+    return (out[:, 0] if squeeze else out), result

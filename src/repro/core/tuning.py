@@ -1,0 +1,64 @@
+"""Automatic block-size selection.
+
+The paper treats the block-cyclic block size ``b`` as a small constant
+chosen per machine: too small pays a message startup per block, too large
+destroys pipeline overlap (see ``benchmarks/bench_ablations.py``).  Since
+our machine is simulated, the trade-off can be searched directly: simulate
+one forward solve per candidate ``b`` and keep the fastest.  This is the
+simulation-era equivalent of the hand-tuning the paper's authors did on
+the T3D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.forward import parallel_forward
+from repro.machine.spec import MachineSpec
+from repro.mapping.subtree_subcube import ProcSet
+from repro.numeric.supernodal import SupernodalFactor
+from repro.util.validation import require
+
+DEFAULT_CANDIDATES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a block-size search."""
+
+    best_b: int
+    timings: dict[int, float]  # candidate b -> simulated forward seconds
+
+    def improvement_over(self, b: int) -> float:
+        """Speedup of best_b relative to candidate *b*."""
+        require(b in self.timings, f"b={b} was not a candidate")
+        return self.timings[b] / self.timings[self.best_b]
+
+
+def tune_block_size(
+    factor: SupernodalFactor,
+    assign: list[ProcSet],
+    spec: MachineSpec,
+    *,
+    nrhs: int = 1,
+    candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    nproc: int | None = None,
+    seed: int = 0,
+) -> TuningResult:
+    """Pick the block size minimising the simulated forward-solve time.
+
+    The numeric result is identical for every ``b`` (verified by the test
+    suite), so only the makespan matters.
+    """
+    require(len(candidates) > 0, "need at least one candidate block size")
+    rng = np.random.default_rng(seed)
+    rhs = rng.normal(size=(factor.n, nrhs))
+    timings: dict[int, float] = {}
+    for b in candidates:
+        require(b >= 1, f"block size must be >= 1, got {b}")
+        _, sim = parallel_forward(factor, assign, spec, rhs, b=b, nproc=nproc)
+        timings[int(b)] = sim.makespan
+    best = min(timings, key=lambda k: (timings[k], k))
+    return TuningResult(best_b=best, timings=timings)

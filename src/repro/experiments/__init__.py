@@ -1,0 +1,28 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+The registry (:mod:`repro.experiments.matrices`) defines synthetic
+analogues of the five Harwell-Boeing test matrices (scaled to pure-Python
+runtimes; see DESIGN.md Section 2), and each ``figN`` module regenerates
+the corresponding artefact.  The ``benchmarks/`` tree calls into these
+drivers so that `pytest benchmarks/ --benchmark-only` reproduces the
+whole evaluation.
+"""
+
+from repro.experiments.matrices import WORKLOADS, Workload, get_workload, prepared
+from repro.experiments.fig7 import fig7_rows, format_fig7
+from repro.experiments.fig8 import fig8_series, format_fig8
+from repro.experiments.fig5 import isoefficiency_experiment
+from repro.experiments.scaling import scaling_law_experiment
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "prepared",
+    "fig7_rows",
+    "format_fig7",
+    "fig8_series",
+    "format_fig8",
+    "isoefficiency_experiment",
+    "scaling_law_experiment",
+]

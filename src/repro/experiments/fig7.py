@@ -1,0 +1,103 @@
+"""Figure 7: the paper's main results table.
+
+For each test matrix and processor count, report factorization time and
+MFLOPS, the 2-D -> 1-D redistribution time, and FBsolve time / MFLOPS for
+a range of right-hand-side counts — the same rows the paper prints for
+BCSSTK15, BCSSTK31, HSCT21954, CUBE35 and COPTER2 on the T3D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.matrices import get_workload, prepared
+from repro.machine.spec import MachineSpec
+
+DEFAULT_NRHS = (1, 5, 10, 20, 30)
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """One (matrix, p, nrhs) cell of the Figure 7 table."""
+
+    matrix: str
+    paper_name: str
+    n: int
+    p: int
+    nrhs: int
+    factor_seconds: float
+    factor_mflops: float
+    redistribute_seconds: float
+    fbsolve_seconds: float
+    fbsolve_mflops: float
+    redistribution_ratio: float
+    residual: float
+
+
+def fig7_rows(
+    matrix: str,
+    *,
+    ps: tuple[int, ...] = (1, 16, 64),
+    nrhs_list: tuple[int, ...] = DEFAULT_NRHS,
+    spec: MachineSpec | None = None,
+    seed: int = 7,
+    check: bool = True,
+) -> list[Fig7Row]:
+    """Compute the Figure 7 rows for one workload."""
+    wl = get_workload(matrix)
+    rows: list[Fig7Row] = []
+    rng = np.random.default_rng(seed)
+    for p in ps:
+        solver = prepared(matrix, p, spec=spec) if spec is None else prepared(matrix, p, spec=spec)
+        bmat = rng.normal(size=(solver.a.n, max(nrhs_list)))
+        for nrhs in nrhs_list:
+            _, rep = solver.solve(bmat[:, :nrhs], check=check)
+            rows.append(
+                Fig7Row(
+                    matrix=matrix,
+                    paper_name=wl.paper_name,
+                    n=solver.a.n,
+                    p=p,
+                    nrhs=nrhs,
+                    factor_seconds=rep.factor_seconds,
+                    factor_mflops=rep.factor_mflops,
+                    redistribute_seconds=rep.redistribute_seconds,
+                    fbsolve_seconds=rep.fbsolve_seconds,
+                    fbsolve_mflops=rep.fbsolve_mflops,
+                    redistribution_ratio=rep.redistribution_ratio,
+                    residual=rep.residual if rep.residual is not None else float("nan"),
+                )
+            )
+    return rows
+
+
+def format_fig7(rows: list[Fig7Row]) -> str:
+    """Render rows in the layout of the paper's Figure 7."""
+    if not rows:
+        return "(no rows)"
+    out: list[str] = []
+    head = rows[0]
+    out.append(
+        f"{head.paper_name} analogue '{head.matrix}': N = {head.n}"
+    )
+    for p in sorted({r.p for r in rows}):
+        sub = [r for r in rows if r.p == p]
+        r0 = sub[0]
+        out.append(
+            f"  p = {p}   Factorization time = {r0.factor_seconds:.4f} s   "
+            f"Factorization MFLOPS = {r0.factor_mflops:.1f}   "
+            f"Time to redistribute L = {r0.redistribute_seconds:.4f} s"
+        )
+        out.append("    NRHS           " + "".join(f"{r.nrhs:>10d}" for r in sub))
+        out.append(
+            "    FBsolve time   " + "".join(f"{r.fbsolve_seconds:10.4f}" for r in sub)
+        )
+        out.append(
+            "    FBsolve MFLOPS " + "".join(f"{r.fbsolve_mflops:10.1f}" for r in sub)
+        )
+        out.append(
+            "    redist/solve   " + "".join(f"{r.redistribution_ratio:10.2f}" for r in sub)
+        )
+    return "\n".join(out)

@@ -1,0 +1,72 @@
+"""Figure 8: FBsolve MFLOPS versus processor count, one curve per NRHS.
+
+Reproduces the four panels of the paper's Figure 8 (BCSSTK15, BCSSTK31,
+CUBE35, COPTER2): performance grows with p and the curves for larger NRHS
+lie strictly higher and scale further (BLAS-3 + amortised index math).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.matrices import prepared
+from repro.machine.spec import MachineSpec
+
+DEFAULT_PS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+DEFAULT_NRHS = (1, 5, 10, 20, 30)
+
+
+@dataclass(frozen=True)
+class Fig8Series:
+    """One curve: MFLOPS as a function of p for a fixed NRHS."""
+
+    matrix: str
+    nrhs: int
+    ps: tuple[int, ...]
+    mflops: tuple[float, ...]
+    seconds: tuple[float, ...]
+
+
+def fig8_series(
+    matrix: str,
+    *,
+    ps: tuple[int, ...] = DEFAULT_PS,
+    nrhs_list: tuple[int, ...] = DEFAULT_NRHS,
+    spec: MachineSpec | None = None,
+    seed: int = 8,
+) -> list[Fig8Series]:
+    """Compute the Figure 8 curves for one workload."""
+    rng = np.random.default_rng(seed)
+    series: list[Fig8Series] = []
+    per_nrhs: dict[int, list[tuple[float, float]]] = {nr: [] for nr in nrhs_list}
+    for p in ps:
+        solver = prepared(matrix, p, spec=spec)
+        bmat = rng.normal(size=(solver.a.n, max(nrhs_list)))
+        for nrhs in nrhs_list:
+            _, rep = solver.solve(bmat[:, :nrhs], check=False)
+            per_nrhs[nrhs].append((rep.fbsolve_mflops, rep.fbsolve_seconds))
+    for nrhs in nrhs_list:
+        vals = per_nrhs[nrhs]
+        series.append(
+            Fig8Series(
+                matrix=matrix,
+                nrhs=nrhs,
+                ps=tuple(ps),
+                mflops=tuple(v[0] for v in vals),
+                seconds=tuple(v[1] for v in vals),
+            )
+        )
+    return series
+
+
+def format_fig8(series: list[Fig8Series]) -> str:
+    """ASCII rendering of the Figure 8 panel for one matrix."""
+    if not series:
+        return "(no series)"
+    out = [f"{series[0].matrix}: FBsolve MFLOPS vs p"]
+    out.append("    p      " + "".join(f"  NRHS={s.nrhs:<5d}" for s in series))
+    for i, p in enumerate(series[0].ps):
+        out.append(f"  {p:5d}    " + "".join(f"{s.mflops[i]:10.1f}  " for s in series))
+    return "\n".join(out)

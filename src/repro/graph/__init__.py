@@ -1,0 +1,28 @@
+"""Graph algorithms over sparse-matrix adjacency structures.
+
+Provides the pieces the fill-reducing orderings are built from: compressed
+adjacency, breadth-first traversal, pseudo-peripheral vertices, connected
+components, and vertex separators (geometric for meshes with coordinates,
+level-structure based otherwise).
+"""
+
+from repro.graph.structure import Adjacency, adjacency_from_matrix
+from repro.graph.traversal import bfs_levels, connected_components, pseudo_peripheral
+from repro.graph.separators import (
+    Separation,
+    geometric_bisection,
+    levelset_separator,
+    find_separator,
+)
+
+__all__ = [
+    "Adjacency",
+    "adjacency_from_matrix",
+    "bfs_levels",
+    "connected_components",
+    "pseudo_peripheral",
+    "Separation",
+    "geometric_bisection",
+    "levelset_separator",
+    "find_separator",
+]

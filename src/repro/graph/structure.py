@@ -1,0 +1,71 @@
+"""Compressed adjacency structure of a symmetric sparse matrix's graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.csc import SymCSC
+from repro.util.validation import check_index
+
+
+@dataclass(frozen=True)
+class Adjacency:
+    """Undirected graph in CSR-ish compressed form (no self loops).
+
+    ``neighbors(v)`` is ``indices[indptr[v]:indptr[v+1]]``.  ``coords`` is
+    carried through from the originating matrix when available, enabling
+    geometric separators.
+    """
+
+    n: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    coords: np.ndarray | None = field(default=None, compare=False)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        check_index(v, self.n, "vertex")
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        check_index(v, self.n, "vertex")
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def nedges(self) -> int:
+        return int(self.indptr[-1]) // 2
+
+    def subgraph(self, vertices: np.ndarray) -> tuple["Adjacency", np.ndarray]:
+        """Induced subgraph on *vertices*.
+
+        Returns the subgraph (with vertices renumbered 0..len-1 in the order
+        given) and the mapping ``local -> global`` (a copy of *vertices*).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        local = -np.ones(self.n, dtype=np.int64)
+        local[vertices] = np.arange(vertices.shape[0])
+        sub_ptr = np.zeros(vertices.shape[0] + 1, dtype=np.int64)
+        chunks = []
+        for k, v in enumerate(vertices):
+            nb = local[self.neighbors(int(v))]
+            nb = nb[nb >= 0]
+            chunks.append(nb)
+            sub_ptr[k + 1] = sub_ptr[k] + nb.shape[0]
+        sub_idx = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        coords = self.coords[vertices] if self.coords is not None else None
+        return Adjacency(vertices.shape[0], sub_ptr, sub_idx, coords), vertices.copy()
+
+
+def adjacency_from_matrix(a: SymCSC) -> Adjacency:
+    """Adjacency of the full symmetric pattern of *a*, self-loops removed."""
+    indptr, indices = a.pattern_full()
+    mask = np.ones(indices.shape[0], dtype=bool)
+    for v in range(a.n):
+        lo, hi = int(indptr[v]), int(indptr[v + 1])
+        mask[lo:hi] &= indices[lo:hi] != v
+    new_ptr = np.zeros(a.n + 1, dtype=np.int64)
+    for v in range(a.n):
+        lo, hi = int(indptr[v]), int(indptr[v + 1])
+        new_ptr[v + 1] = new_ptr[v] + int(mask[lo:hi].sum())
+    return Adjacency(a.n, new_ptr, indices[mask], a.coords)

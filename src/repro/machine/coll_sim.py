@@ -1,0 +1,98 @@
+"""Collective operations as simulated task graphs.
+
+:mod:`repro.machine.collectives` gives the closed-form hypercube costs the
+paper's analysis uses; this module builds the same algorithms as task
+graphs for the event simulator so the formulas can be validated against
+the execution model (and so whole-program simulations can embed
+collectives without switching cost models).
+
+Implemented: recursive-doubling one-to-all broadcast, all-to-one
+reduction, and the pairwise-exchange all-to-all personalized used by the
+Section 4 redistribution.
+"""
+
+from __future__ import annotations
+
+from repro.machine.events import SimResult, TaskGraph, simulate
+from repro.machine.spec import MachineSpec
+from repro.util.validation import check_positive, check_power_of_two
+
+
+def broadcast_graph(q: int, m: float, *, root: int = 0) -> TaskGraph:
+    """Recursive-doubling broadcast of *m* words from *root* over q procs.
+
+    At step d (d = log q - 1 .. 0), every processor that already holds the
+    data sends to its partner at distance 2^d.
+    """
+    check_power_of_two(q, "q")
+    check_positive(m, "message words")
+    g = TaskGraph(nproc=q)
+    # last task per proc participating so far
+    holder: dict[int, int] = {root: g.add_task(root, 0.0, priority=(0, 0), label="src")}
+    step = 1
+    d = q // 2
+    while d >= 1:
+        new_holders = {}
+        for rank, tid in holder.items():
+            partner = rank ^ d
+            if partner in holder or partner in new_holders:
+                continue
+            recv = g.add_task(partner, 0.0, priority=(step, partner), label=f"recv{step}")
+            g.add_edge(tid, recv, words=m)
+            new_holders[partner] = recv
+        holder.update(new_holders)
+        d //= 2
+        step += 1
+    return g
+
+
+def reduce_graph(q: int, m: float, *, root: int = 0) -> TaskGraph:
+    """Recursive-halving all-to-one reduction (mirror of the broadcast)."""
+    check_power_of_two(q, "q")
+    check_positive(m, "message words")
+    g = TaskGraph(nproc=q)
+    current = {rank: g.add_task(rank, 0.0, priority=(0, rank), label="leaf") for rank in range(q)}
+    step = 1
+    d = 1
+    while d < q:
+        survivors: dict[int, int] = {}
+        for rank, tid in current.items():
+            low = rank ^ d
+            if rank & d:  # sender this round
+                continue
+            recv = g.add_task(rank, 0.0, priority=(step, rank), label=f"acc{step}")
+            g.add_edge(tid, recv)
+            partner_tid = current.get(rank | d)
+            if partner_tid is not None:
+                g.add_edge(partner_tid, recv, words=m)
+            survivors[rank] = recv
+            del low
+        current = survivors
+        d *= 2
+        step += 1
+    return g
+
+
+def all_to_all_personalized_graph(q: int, m: float) -> TaskGraph:
+    """Pairwise-exchange all-to-all personalized: q-1 rounds; in round r,
+    processor i exchanges m words with processor ``i XOR r``."""
+    check_power_of_two(q, "q")
+    check_positive(m, "message words")
+    g = TaskGraph(nproc=q)
+    last = {rank: g.add_task(rank, 0.0, priority=(0, rank), label="start") for rank in range(q)}
+    for r in range(1, q):
+        nxt = {}
+        for rank in range(q):
+            partner = rank ^ r
+            recv = g.add_task(rank, 0.0, priority=(r, rank), label=f"x{r}")
+            g.add_edge(last[rank], recv)  # local ordering
+            g.add_edge(last[partner], recv, words=m)  # partner's data
+            nxt[rank] = recv
+        last = nxt
+    return g
+
+
+def simulated_collective_time(graph: TaskGraph, spec: MachineSpec) -> tuple[float, SimResult]:
+    """Makespan of a collective graph under *spec*."""
+    sim = simulate(graph, spec)
+    return sim.makespan, sim

@@ -1,0 +1,219 @@
+"""SPMD process layer: write rank-local message-passing code, run it on
+the simulated machine.
+
+The task-graph interface (:mod:`repro.machine.events`) is ideal for
+algorithms whose structure is known up front.  Real message-passing codes
+are written differently — each rank runs a sequential program with
+``send``/``recv``/``compute`` calls.  This module provides exactly that
+model on top of the same cost accounting, using generator coroutines:
+
+    def program(rank: int, env: Env):
+        if rank == 0:
+            yield env.compute(flops=1000)
+            yield env.send(1, data=np.arange(4), words=4)
+        else:
+            msg = yield env.recv(0)
+            ...
+
+Semantics (matching mpi4py-style blocking point-to-point):
+
+* ``send`` is asynchronous (buffered): the sender continues immediately;
+  the message arrives ``t_s + t_w*words + t_h*hops`` later.
+* ``recv`` blocks until a matching message (by source and tag) arrives;
+  messages between a pair are delivered in send order.
+* ``compute`` advances the rank's clock by a modeled kernel time.
+* ``barrier`` synchronises all ranks (charged as a hypercube reduction +
+  broadcast of one word).
+
+The run is deterministic; ties are broken by rank.  Deadlocks (every
+live rank blocked on a recv that can never be satisfied) are detected and
+reported with the blocked ranks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.machine.spec import MachineSpec
+from repro.machine.topology import make_topology
+from repro.util.validation import check_positive, require
+
+
+# ------------------------------------------------------------------ actions
+@dataclass(frozen=True)
+class Send:
+    dst: int
+    data: Any
+    words: float
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Recv:
+    src: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Compute:
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Barrier:
+    pass
+
+
+class Env:
+    """Factory for the actions a rank may yield."""
+
+    def __init__(self, spec: MachineSpec, size: int):
+        self._spec = spec
+        self.size = size
+
+    def send(self, dst: int, data: Any = None, *, words: float = 0.0, tag: int = 0) -> Send:
+        require(0 <= dst < self.size, f"dst {dst} out of range")
+        check_positive(words, "words", strict=False)
+        return Send(dst=dst, data=data, words=words, tag=tag)
+
+    def recv(self, src: int, *, tag: int = 0) -> Recv:
+        require(0 <= src < self.size, f"src {src} out of range")
+        return Recv(src=src, tag=tag)
+
+    def compute(self, *, seconds: float | None = None, flops: float = 0.0, nrhs: int = 1) -> Compute:
+        if seconds is None:
+            seconds = self._spec.compute_time(flops, nrhs=nrhs)
+        check_positive(seconds, "seconds", strict=False)
+        return Compute(seconds=seconds)
+
+    def barrier(self) -> Barrier:
+        return Barrier()
+
+
+Program = Callable[[int, Env], Generator]
+
+
+@dataclass
+class SpmdResult:
+    """Timing outcome of an SPMD run."""
+
+    makespan: float
+    finish_times: list[float]
+    busy: list[float]
+    message_count: int
+    comm_volume_words: float
+    returns: list[Any] = field(default_factory=list)
+
+
+class DeadlockError(RuntimeError):
+    """All live ranks are blocked on unmatched receives."""
+
+
+def run_spmd(program: Program, size: int, spec: MachineSpec) -> SpmdResult:
+    """Execute *program* on every rank of a *size*-processor machine."""
+    check_positive(size, "size")
+    topo = make_topology(spec.topology, size)
+    env = Env(spec, size)
+    gens: list[Generator | None] = [program(rank, env) for rank in range(size)]
+    clock = [0.0] * size
+    busy = [0.0] * size
+    returns: list[Any] = [None] * size
+
+    # in-flight and delivered messages: (src, dst, tag) -> FIFO of
+    # (arrival_time, data); matching is by send order per channel.
+    mailbox: dict[tuple[int, int, int], list[tuple[float, Any]]] = {}
+    # per-rank blocked state: (channel_key, resume_generator)
+    blocked: dict[int, tuple[int, int, int]] = {}
+    barrier_wait: set[int] = set()
+    msg_count = 0
+    volume = 0.0
+
+    # run queue ordered by (clock, rank); blocked ranks are excluded
+    ready: list[tuple[float, int]] = [(0.0, r) for r in range(size)]
+    heapq.heapify(ready)
+    pending_value: dict[int, Any] = {}
+
+    def step(rank: int) -> None:
+        """Advance one rank until it blocks, yields time, or finishes."""
+        nonlocal msg_count, volume
+        gen = gens[rank]
+        assert gen is not None
+        try:
+            action = gen.send(pending_value.pop(rank, None))
+        except StopIteration as stop:
+            returns[rank] = stop.value
+            gens[rank] = None
+            return
+        if isinstance(action, Compute):
+            clock[rank] += action.seconds
+            busy[rank] += action.seconds
+            heapq.heappush(ready, (clock[rank], rank))
+        elif isinstance(action, Send):
+            arrival = clock[rank] + (
+                spec.message_time(action.words, topo.hops(rank, action.dst))
+                if action.dst != rank
+                else 0.0
+            )
+            key = (rank, action.dst, action.tag)
+            mailbox.setdefault(key, []).append((arrival, action.data))
+            if action.dst != rank and action.words > 0:
+                msg_count += 1
+                volume += action.words
+            # unblock the receiver if it was waiting on this channel
+            if blocked.get(action.dst) == key:
+                del blocked[action.dst]
+                _deliver(action.dst, key)
+            heapq.heappush(ready, (clock[rank], rank))
+        elif isinstance(action, Recv):
+            key = (action.src, rank, action.tag)
+            if mailbox.get(key):
+                _deliver(rank, key)
+            else:
+                blocked[rank] = key
+        elif isinstance(action, Barrier):
+            barrier_wait.add(rank)
+            if len(barrier_wait) == size:
+                _release_barrier()
+        else:
+            raise TypeError(f"rank {rank} yielded unsupported action {action!r}")
+
+    def _deliver(rank: int, key: tuple[int, int, int]) -> None:
+        arrival, data = mailbox[key].pop(0)
+        clock[rank] = max(clock[rank], arrival)
+        pending_value[rank] = data
+        heapq.heappush(ready, (clock[rank], rank))
+
+    def _release_barrier() -> None:
+        cost = 2.0 * spec.message_time(1, 1) * max(size.bit_length() - 1, 0)
+        t = max(clock) + cost
+        for r in list(barrier_wait):
+            clock[r] = t
+            heapq.heappush(ready, (t, r))
+        barrier_wait.clear()
+
+    while True:
+        while ready:
+            _, rank = heapq.heappop(ready)
+            if gens[rank] is None or rank in blocked or rank in barrier_wait:
+                continue
+            step(rank)
+        live = [r for r in range(size) if gens[r] is not None]
+        if not live:
+            break
+        if all(r in blocked or r in barrier_wait for r in live):
+            raise DeadlockError(
+                f"deadlock: ranks {sorted(blocked)} blocked on receives "
+                f"{[blocked[r] for r in sorted(blocked)]}"
+                + (f"; ranks {sorted(barrier_wait)} at barrier" if barrier_wait else "")
+            )
+
+    return SpmdResult(
+        makespan=max(clock) if clock else 0.0,
+        finish_times=clock,
+        busy=busy,
+        message_count=msg_count,
+        comm_volume_words=volume,
+        returns=returns,
+    )

@@ -1,0 +1,30 @@
+"""Distribution of the factor across processors.
+
+* :func:`subtree_to_subcube` — the paper's mapping of the supernodal
+  elimination tree onto a hypercube: the root supernode gets all ``p``
+  processors, each branch splits the processor set in half, and entire
+  subtrees below ``log2 p`` levels run on a single processor.
+* :class:`BlockCyclic1D` / :class:`BlockCyclic2D` — block-cyclic layouts
+  of a supernode's dense trapezoid (1-D for the triangular solvers, 2-D
+  for the factorization).
+* :mod:`repro.mapping.redistribution` — converting the 2-D factorization
+  layout into the 1-D solver layout (paper Section 4, Figure 6).
+"""
+
+from repro.mapping.subtree_subcube import ProcSet, subtree_to_subcube
+from repro.mapping.layouts import BlockCyclic1D, BlockCyclic2D
+from repro.mapping.redistribution import (
+    redistribute_supernode,
+    redistribution_time,
+    total_redistribution_time,
+)
+
+__all__ = [
+    "ProcSet",
+    "subtree_to_subcube",
+    "BlockCyclic1D",
+    "BlockCyclic2D",
+    "redistribute_supernode",
+    "redistribution_time",
+    "total_redistribution_time",
+]

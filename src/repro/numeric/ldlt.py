@@ -1,0 +1,100 @@
+"""LDL^T factorization (no square roots; symmetric quasi-definite support).
+
+The paper's setting is SPD Cholesky, but production descendants of this
+work (WSMP, MUMPS) ship the LDL^T variant for symmetric indefinite
+systems.  We provide the simplicial form over the same symbolic pattern:
+``A = L D L^T`` with unit lower-triangular L and diagonal D (no pivoting,
+so the class covered is matrices whose leading minors are nonsingular —
+e.g. quasi-definite KKT systems).  The triangular solves reuse the same
+forward/backward structure with a diagonal scaling in between, so the
+parallel algorithms of the paper apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csc import LowerCSC, SymCSC
+from repro.symbolic.analyze import SymbolicFactor
+
+
+class SingularPivotError(np.linalg.LinAlgError):
+    """Raised when an exactly-zero pivot appears (matrix not LDL^T-factorable
+    without pivoting)."""
+
+
+@dataclass
+class LDLTFactor:
+    """Unit lower-triangular L (diagonal stored as 1) plus diagonal D."""
+
+    l: LowerCSC
+    d: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.l.n
+
+    def inertia(self) -> tuple[int, int, int]:
+        """(positive, negative, zero) counts of D — Sylvester's inertia of A."""
+        pos = int(np.sum(self.d > 0))
+        neg = int(np.sum(self.d < 0))
+        return pos, neg, self.n - pos - neg
+
+
+def ldlt_simplicial(sym: SymbolicFactor, *, pivot_tol: float = 0.0) -> LDLTFactor:
+    """Factor ``sym.a_perm = L D L^T`` over the precomputed pattern.
+
+    ``pivot_tol`` rejects pivots with ``|d| <= pivot_tol`` (0 = only exact
+    zeros are rejected).
+    """
+    a: SymCSC = sym.a_perm
+    n = a.n
+    indptr, indices = sym.l_indptr, sym.l_indices
+    data = np.zeros(int(indptr[-1]))
+    d = np.zeros(n)
+    work = np.zeros(n)
+
+    cols_of_row: list[list[int]] = [[] for _ in range(n)]
+    for k in range(n):
+        for ptr in range(int(indptr[k]) + 1, int(indptr[k + 1])):
+            cols_of_row[int(indices[ptr])].append(k)
+
+    for j in range(n):
+        lo, hi = int(indptr[j]), int(indptr[j + 1])
+        rows_j = indices[lo:hi]
+        a_rows, a_vals = a.column(j)
+        work[a_rows] = a_vals
+        for k in cols_of_row[j]:
+            klo, khi = int(indptr[k]), int(indptr[k + 1])
+            rows_k = indices[klo:khi]
+            pos = int(np.searchsorted(rows_k, j))
+            ljk = data[klo + pos]
+            tail = slice(klo + pos, khi)
+            # work[i] -= L[i,k] * d[k] * L[j,k]
+            work[indices[tail]] -= data[tail] * (d[k] * ljk)
+        pivot = work[j]
+        if abs(pivot) <= pivot_tol:
+            raise SingularPivotError(f"zero pivot at column {j}: {pivot!r}")
+        d[j] = pivot
+        data[lo] = 1.0
+        data[lo + 1 : hi] = work[rows_j[1:]] / pivot
+        work[rows_j] = 0.0
+    return LDLTFactor(
+        l=LowerCSC(n=n, indptr=indptr.copy(), indices=indices.copy(), data=data), d=d
+    )
+
+
+def ldlt_solve(f: LDLTFactor, b: np.ndarray) -> np.ndarray:
+    """Solve ``(L D L^T) x = b`` by forward / scale / backward."""
+    from repro.numeric.trisolve import backward_simplicial, forward_simplicial
+
+    b = np.asarray(b, dtype=np.float64)
+    squeeze = b.ndim == 1
+    y = forward_simplicial(f.l, b)
+    if squeeze:
+        y = y / f.d
+    else:
+        y = y / f.d[:, None]
+    return backward_simplicial(f.l, y)

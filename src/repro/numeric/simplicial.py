@@ -1,0 +1,56 @@
+"""Simplicial (column-by-column) sparse Cholesky.
+
+The reference factorization: a left-looking algorithm over the symbolic
+pattern.  Slow but simple and independent of the supernodal machinery, so
+the two can validate each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numeric.frontal import NotPositiveDefiniteError
+from repro.sparse.csc import LowerCSC, SymCSC
+from repro.symbolic.analyze import SymbolicFactor
+
+
+def cholesky_simplicial(sym: SymbolicFactor) -> LowerCSC:
+    """Factor ``sym.a_perm`` into L over the precomputed symbolic pattern."""
+    a: SymCSC = sym.a_perm
+    n = a.n
+    indptr, indices = sym.l_indptr, sym.l_indices
+    data = np.zeros(int(indptr[-1]))
+
+    # Dense work column + position lookup within each L column.
+    work = np.zeros(n)
+    # For the left-looking update we need, for each column j, the list of
+    # columns k < j with L[j, k] != 0 — i.e. the rows view of the pattern.
+    cols_of_row: list[list[int]] = [[] for _ in range(n)]
+    for k in range(n):
+        for ptr in range(int(indptr[k]) + 1, int(indptr[k + 1])):
+            cols_of_row[int(indices[ptr])].append(k)
+
+    # Position of row i within column k's index list, built lazily per column.
+    for j in range(n):
+        lo, hi = int(indptr[j]), int(indptr[j + 1])
+        rows_j = indices[lo:hi]
+        # Scatter A's column j.
+        a_rows, a_vals = a.column(j)
+        work[a_rows] = a_vals
+        # Subtract contributions of all columns k < j with L[j,k] != 0.
+        for k in cols_of_row[j]:
+            klo, khi = int(indptr[k]), int(indptr[k + 1])
+            rows_k = indices[klo:khi]
+            # Find L[j, k] and update work[i] -= L[i,k] * L[j,k] for i >= j.
+            pos = int(np.searchsorted(rows_k, j))
+            ljk = data[klo + pos]
+            tail = slice(klo + pos, khi)
+            work[indices[tail]] -= data[tail] * ljk
+        pivot = work[j]
+        if pivot <= 0:
+            raise NotPositiveDefiniteError(f"non-positive pivot {pivot} at column {j}")
+        piv = np.sqrt(pivot)
+        data[lo] = piv
+        data[lo + 1 : hi] = work[rows_j[1:]] / piv
+        work[rows_j] = 0.0
+    return LowerCSC(n=n, indptr=indptr.copy(), indices=indices.copy(), data=data)

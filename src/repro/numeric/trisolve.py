@@ -1,0 +1,101 @@
+"""Serial forward elimination and backward substitution.
+
+Implements Section 2 of the paper in its sequential form:
+
+* **Forward** (``L y = b``): leaves to root.  At each supernode, gather the
+  right-hand-side entries of the supernode's ``t`` columns into the top of
+  a length-``n`` work vector (the rest starts at zero and accumulates child
+  contributions), solve the dense ``t x t`` triangle, multiply the
+  ``(n-t) x t`` rectangle by the solved top and subtract into the bottom,
+  then scatter the bottom into the parent's accumulation.
+* **Backward** (``L^T x = y``): root to leaves.  At each supernode, gather
+  the bottom ``n - t`` entries from already-solved ancestor variables,
+  subtract ``R^T`` times the bottom from the top, and solve the transposed
+  triangle.
+
+For ``m`` right-hand sides every vector op becomes the corresponding
+``(· x m)`` matrix op — exactly the paper's NRHS generalisation.
+Simplicial variants over :class:`LowerCSC` serve as independent references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numeric.frontal import trsm_lower, trsm_lower_t
+from repro.numeric.supernodal import SupernodalFactor
+from repro.sparse.csc import LowerCSC
+
+
+def _as_matrix(b: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape[0] != n:
+        raise ValueError(f"rhs has {b.shape[0]} rows, expected {n}")
+    if b.ndim == 1:
+        return b[:, None].copy(), True
+    if b.ndim == 2:
+        return b.copy(), False
+    raise ValueError("rhs must be a vector or a 2-D block of vectors")
+
+
+# ----------------------------------------------------------------- simplicial
+def forward_simplicial(l: LowerCSC, b: np.ndarray) -> np.ndarray:
+    """Solve ``L y = b`` column by column (reference implementation)."""
+    y, squeeze = _as_matrix(b, l.n)
+    for j in range(l.n):
+        rows, vals = l.column(j)
+        y[j] /= vals[0]
+        if rows.shape[0] > 1:
+            y[rows[1:]] -= np.outer(vals[1:], y[j])
+    return y[:, 0] if squeeze else y
+
+
+def backward_simplicial(l: LowerCSC, b: np.ndarray) -> np.ndarray:
+    """Solve ``L^T x = b`` column by column (reference implementation)."""
+    x, squeeze = _as_matrix(b, l.n)
+    for j in range(l.n - 1, -1, -1):
+        rows, vals = l.column(j)
+        if rows.shape[0] > 1:
+            x[j] -= vals[1:] @ x[rows[1:]]
+        x[j] /= vals[0]
+    return x[:, 0] if squeeze else x
+
+
+# ----------------------------------------------------------------- supernodal
+def forward_supernodal(f: SupernodalFactor, b: np.ndarray) -> np.ndarray:
+    """Supernodal forward elimination ``L y = b`` (leaves -> root)."""
+    y, squeeze = _as_matrix(b, f.n)
+    stree = f.stree
+    for s in stree.topo_order():
+        sn = stree.supernodes[s]
+        block = f.blocks[s]
+        t = sn.t
+        top = y[sn.col_lo : sn.col_hi]
+        solved = trsm_lower(block[:t, :t], top)
+        y[sn.col_lo : sn.col_hi] = solved
+        if sn.n > t:
+            # Subtract the rectangle's contribution directly into the
+            # ancestor entries of y (they are solved later, so this is the
+            # "collect contributions at the parent" step of the paper).
+            y[sn.below] -= block[t:, :] @ solved
+    return y[:, 0] if squeeze else y
+
+
+def backward_supernodal(f: SupernodalFactor, b: np.ndarray) -> np.ndarray:
+    """Supernodal backward substitution ``L^T x = b`` (root -> leaves)."""
+    x, squeeze = _as_matrix(b, f.n)
+    stree = f.stree
+    for s in reversed(stree.topo_order()):
+        sn = stree.supernodes[s]
+        block = f.blocks[s]
+        t = sn.t
+        top = x[sn.col_lo : sn.col_hi]
+        if sn.n > t:
+            top = top - block[t:, :].T @ x[sn.below]
+        x[sn.col_lo : sn.col_hi] = trsm_lower_t(block[:t, :t], top)
+    return x[:, 0] if squeeze else x
+
+
+def solve_supernodal(f: SupernodalFactor, b: np.ndarray) -> np.ndarray:
+    """Full solve ``A x = b`` given ``A = L L^T``: forward then backward."""
+    return backward_supernodal(f, forward_supernodal(f, b))

@@ -1,0 +1,31 @@
+"""Fill-reducing orderings.
+
+The paper's analysis assumes a nested-dissection-based ordering (Section 3):
+it is what produces balanced elimination trees with O(sqrt N) / O(N^{2/3})
+separator supernodes, and the subtree-to-subcube mapping relies on that
+balance.  We provide:
+
+* :func:`nested_dissection` — the primary ordering (geometric separators for
+  mesh matrices, level-set separators otherwise);
+* :func:`minimum_degree` — the classic alternative, used for small leaf
+  subgraphs and as an ablation baseline;
+* :func:`reverse_cuthill_mckee` — profile-reducing baseline;
+* :class:`Permutation` — explicit permutation objects with composition and
+  inversion.
+"""
+
+from repro.ordering.permutation import Permutation
+from repro.ordering.nested_dissection import nested_dissection
+from repro.ordering.amd import approximate_minimum_degree
+from repro.ordering.minimum_degree import minimum_degree
+from repro.ordering.rcm import reverse_cuthill_mckee
+from repro.ordering.api import order
+
+__all__ = [
+    "Permutation",
+    "nested_dissection",
+    "minimum_degree",
+    "approximate_minimum_degree",
+    "reverse_cuthill_mckee",
+    "order",
+]

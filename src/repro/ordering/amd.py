@@ -1,0 +1,84 @@
+"""Approximate minimum degree (AMD) on the quotient graph.
+
+The clique-insertion minimum degree of :mod:`repro.ordering.minimum_degree`
+materialises fill edges explicitly, which is quadratic in the worst case.
+This module implements the quotient-graph formulation (Amestoy, Davis &
+Duff): eliminated pivots become *elements* whose adjacency lists are never
+expanded, elements reachable through a pivot are absorbed, and variable
+degrees are maintained with the standard AMD upper bound
+
+    d_i  <-  min( n - k,
+                  d_i + |Lp \\ {i}|,
+                  |A_i \\ Lp| + |Lp \\ {i}| + sum_e |L_e \\ Lp| )
+
+which keeps the per-pivot cost proportional to the size of the pivot's
+structure.  No supervariable detection (mass elimination) is performed —
+orderings remain deterministic and high quality, at some speed cost on
+matrices with many indistinguishable rows.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graph.structure import Adjacency
+from repro.ordering.permutation import Permutation
+
+
+def approximate_minimum_degree(g: Adjacency) -> Permutation:
+    """AMD permutation (new <- old) of the graph of a symmetric matrix."""
+    n = g.n
+    # variable adjacency (to other variables) and element adjacency
+    a: list[set[int]] = [set(int(u) for u in g.neighbors(v)) for v in range(n)]
+    e: list[set[int]] = [set() for _ in range(n)]
+    lsets: dict[int, set[int]] = {}  # element -> variable set
+    eliminated = np.zeros(n, dtype=bool)
+    degree = np.array([len(a[v]) for v in range(n)], dtype=np.int64)
+
+    heap: list[tuple[int, int]] = [(int(degree[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    order = np.empty(n, dtype=np.int64)
+
+    for k in range(n):
+        # pop a live entry whose key is current
+        while True:
+            d, p = heapq.heappop(heap)
+            if not eliminated[p] and d == degree[p]:
+                break
+        order[k] = p
+        eliminated[p] = True
+
+        # structure of the new element: Lp = A_p U union(L_e) minus dead
+        pivot_elems = list(e[p])
+        lp: set[int] = set(v for v in a[p] if not eliminated[v])
+        for elem in pivot_elems:
+            lp.update(v for v in lsets[elem] if not eliminated[v])
+        lp.discard(p)
+
+        # absorb the pivot's elements
+        for elem in pivot_elems:
+            dead = lsets.pop(elem, None)
+            if dead is not None:
+                for v in dead:
+                    e[v].discard(elem)
+        lsets[p] = lp
+
+        # update every variable in the new element
+        for i in lp:
+            a[i].difference_update(lp)
+            a[i].discard(p)
+            e[i].add(p)
+            # approximate external degree
+            exact_cap = n - (k + 1)
+            bound_prev = int(degree[i]) + len(lp) - 1
+            outside = sum(
+                len(lsets[elem] - lp) for elem in e[i] if elem != p and elem in lsets
+            )
+            bound_struct = len(a[i]) + (len(lp) - 1) + outside
+            degree[i] = max(min(exact_cap, bound_prev, bound_struct), 0)
+            heapq.heappush(heap, (int(degree[i]), i))
+        a[p] = set()
+        e[p] = set()
+    return Permutation(order)

@@ -1,0 +1,85 @@
+"""Assembly of :class:`~repro.sparse.csc.SymCSC` matrices from various sources.
+
+All builders normalise to the canonical storage contract: lower triangle
+only, duplicate entries summed, row indices sorted within each column, and
+an explicit (possibly zero) diagonal entry leading every column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import SymCSC
+from repro.util.validation import require
+
+
+def from_triplets(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    *,
+    coords: np.ndarray | None = None,
+) -> SymCSC:
+    """Build a symmetric matrix from COO triplets.
+
+    Entries may be given in either triangle (or both); an entry ``(i, j)``
+    is interpreted as the symmetric pair ``A[i,j] = A[j,i]``.  Duplicates
+    are summed.  A unit diagonal entry is *not* added automatically, but a
+    structural (zero-valued) diagonal slot is always present so downstream
+    code can rely on ``indices[indptr[j]] == j``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    require(rows.shape == cols.shape == vals.shape, "triplet arrays must match in length")
+    if rows.size and (rows.min() < 0 or rows.max() >= n or cols.min() < 0 or cols.max() >= n):
+        raise ValueError("triplet index out of range")
+
+    # Map everything into the lower triangle.
+    lo_r = np.maximum(rows, cols)
+    lo_c = np.minimum(rows, cols)
+
+    # Append a structural zero diagonal so every column has its pivot slot.
+    diag = np.arange(n, dtype=np.int64)
+    lo_r = np.concatenate([lo_r, diag])
+    lo_c = np.concatenate([lo_c, diag])
+    vals = np.concatenate([vals, np.zeros(n)])
+
+    # Sort by (col, row) and sum duplicates.
+    order = np.lexsort((lo_r, lo_c))
+    lo_r, lo_c, vals = lo_r[order], lo_c[order], vals[order]
+    keep = np.ones(lo_r.shape[0], dtype=bool)
+    keep[1:] = (lo_r[1:] != lo_r[:-1]) | (lo_c[1:] != lo_c[:-1])
+    group = np.cumsum(keep) - 1
+    summed = np.zeros(int(group[-1]) + 1 if group.size else 0)
+    np.add.at(summed, group, vals)
+    lo_r, lo_c = lo_r[keep], lo_c[keep]
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, lo_c + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return SymCSC(n=n, indptr=indptr, indices=lo_r, data=summed, coords=coords)
+
+
+def from_dense(dense: np.ndarray, *, tol: float = 0.0) -> SymCSC:
+    """Build from a dense symmetric array, dropping entries with ``|a| <= tol``."""
+    dense = np.asarray(dense, dtype=np.float64)
+    require(dense.ndim == 2 and dense.shape[0] == dense.shape[1], "dense matrix must be square")
+    if not np.allclose(dense, dense.T, atol=1e-12, rtol=1e-12):
+        raise ValueError("matrix must be symmetric")
+    n = dense.shape[0]
+    rows, cols = np.nonzero(np.abs(np.tril(dense)) > tol)
+    return from_triplets(n, rows, cols, dense[rows, cols])
+
+
+def from_scipy(mat) -> SymCSC:
+    """Build from any scipy sparse matrix (must be structurally symmetric)."""
+    from scipy import sparse
+
+    mat = sparse.csc_matrix(mat)
+    require(mat.shape[0] == mat.shape[1], "matrix must be square")
+    if (abs(mat - mat.T) > 1e-12 * max(1.0, abs(mat).max())).nnz != 0:
+        raise ValueError("matrix must be symmetric")
+    low = sparse.tril(mat).tocoo()
+    return from_triplets(mat.shape[0], low.row, low.col, low.data)

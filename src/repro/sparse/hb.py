@@ -1,0 +1,150 @@
+"""Harwell-Boeing (HB) format reader and writer.
+
+The paper's test matrices (BCSSTK15, BCSSTK31, ...) are distributed in the
+Harwell-Boeing exchange format: a fixed-width, Fortran-formatted header of
+4-5 lines followed by column pointers, row indices, and (optionally)
+values, each printed with a Fortran edit descriptor such as ``(13I6)`` or
+``(5E15.8)``.  This module implements enough of the format to read the
+``RSA``/``PSA`` (real/pattern symmetric assembled) variants those
+collections use, plus a writer for round-tripping.
+
+Reference: Duff, Grimes & Lewis, "Sparse Matrix Test Problems",
+ACM TOMS 15(1), 1989.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparse.build import from_triplets
+from repro.sparse.csc import SymCSC
+from repro.util.validation import require
+
+_FMT_RE = re.compile(
+    r"\(\s*(?P<count>\d+)\s*(?P<kind>[IEFDG])\s*(?P<width>\d+)(?:\.(?P<prec>\d+))?\s*\)",
+    re.IGNORECASE,
+)
+
+
+def parse_fortran_format(fmt: str) -> tuple[int, str, int]:
+    """Parse an edit descriptor like ``(13I6)`` or ``(5E15.8)``.
+
+    Returns ``(fields_per_line, kind, field_width)``.  Repeat-group forms
+    like ``(1P,5E15.8)`` are normalised by dropping scale factors.
+    """
+    cleaned = fmt.strip().upper().replace("1P,", "").replace("1P", "")
+    m = _FMT_RE.search(cleaned)
+    if not m:
+        raise ValueError(f"unsupported Fortran format {fmt!r}")
+    return int(m.group("count")), m.group("kind"), int(m.group("width"))
+
+
+def _read_fixed(lines: list[str], start: int, total: int, fmt: str) -> tuple[list[str], int]:
+    """Read *total* fixed-width fields starting at line *start*."""
+    per_line, _, width = parse_fortran_format(fmt)
+    out: list[str] = []
+    row = start
+    while len(out) < total:
+        if row >= len(lines):
+            raise ValueError("unexpected end of HB file")
+        line = lines[row].rstrip("\n")
+        for k in range(per_line):
+            if len(out) >= total:
+                break
+            field = line[k * width : (k + 1) * width].strip()
+            if field:
+                out.append(field)
+        row += 1
+    return out, row
+
+
+def read_harwell_boeing(path: str | Path) -> SymCSC:
+    """Read an RSA/PSA Harwell-Boeing file into a :class:`SymCSC`."""
+    lines = Path(path).read_text().splitlines()
+    require(len(lines) >= 4, "HB file too short")
+
+    # line 2: TOTCRD PTRCRD INDCRD VALCRD RHSCRD (the last may be absent)
+    card_counts = [int(tok) for tok in lines[1].split()]
+    require(len(card_counts) >= 4, "malformed HB card-count line")
+    ptrcrd, indcrd, valcrd = card_counts[1], card_counts[2], card_counts[3]
+
+    # line 3: MXTYPE NROW NCOL NNZERO (NELTVL)
+    head = lines[2].split()
+    mxtype = head[0].upper()
+    nrow, ncol, nnz = int(head[1]), int(head[2]), int(head[3])
+    require(nrow == ncol, "HB matrix must be square")
+    require(len(mxtype) == 3, f"bad MXTYPE {mxtype!r}")
+    require(mxtype[1] == "S", "only symmetric (xSx) HB matrices are supported")
+    require(mxtype[0] in ("R", "P"), "only real or pattern HB matrices are supported")
+    require(mxtype[2] == "A", "only assembled HB matrices are supported")
+    pattern = mxtype[0] == "P"
+
+    # line 4: PTRFMT INDFMT VALFMT RHSFMT — fixed 16-char fields
+    fmt_line = lines[3]
+    ptrfmt = fmt_line[0:16].strip()
+    indfmt = fmt_line[16:32].strip()
+    valfmt = fmt_line[32:52].strip() if not pattern else ""
+
+    data_start = 4
+    # optional RHS header line when RHSCRD > 0
+    if len(card_counts) >= 5 and card_counts[4] > 0:
+        data_start = 5
+
+    ptr_fields, row_after = _read_fixed(lines, data_start, ncol + 1, ptrfmt)
+    require(row_after - data_start == ptrcrd, "pointer card count mismatch")
+    ind_fields, row_after2 = _read_fixed(lines, row_after, nnz, indfmt)
+    require(row_after2 - row_after == indcrd, "index card count mismatch")
+    indptr = np.array([int(x) - 1 for x in ptr_fields], dtype=np.int64)
+    indices = np.array([int(x) - 1 for x in ind_fields], dtype=np.int64)
+
+    if pattern:
+        vals = None
+    else:
+        val_fields, row_after3 = _read_fixed(lines, row_after2, nnz, valfmt)
+        require(row_after3 - row_after2 == valcrd, "value card count mismatch")
+        vals = np.array([float(x.replace("D", "E").replace("d", "e")) for x in val_fields])
+
+    cols = np.repeat(np.arange(ncol, dtype=np.int64), np.diff(indptr))
+    if vals is None:
+        # pattern matrices get deterministic SPD values (-1 off-diagonal,
+        # dominance-enforcing diagonal), like the MatrixMarket reader
+        off = indices != cols
+        deg = np.zeros(nrow)
+        np.add.at(deg, indices[off], 1.0)
+        np.add.at(deg, cols[off], 1.0)
+        rows_all = np.concatenate([indices[off], np.arange(nrow)])
+        cols_all = np.concatenate([cols[off], np.arange(nrow)])
+        vals_all = np.concatenate([-np.ones(int(off.sum())), deg + 1.0])
+        return from_triplets(nrow, rows_all, cols_all, vals_all)
+    return from_triplets(nrow, indices, cols, vals)
+
+
+def write_harwell_boeing(a: SymCSC, path: str | Path, *, title: str = "repro matrix", key: str = "REPRO") -> None:
+    """Write the lower triangle of *a* as an RSA Harwell-Boeing file."""
+    n = a.n
+    nnz = a.nnz_lower
+    ptrfmt, indfmt, valfmt = "(13I6)", "(13I6)", "(5E15.8)"
+
+    def fixed(values: list[str], per_line: int, width: int) -> list[str]:
+        out = []
+        for k in range(0, len(values), per_line):
+            out.append("".join(v.rjust(width) for v in values[k : k + per_line]))
+        return out
+
+    ptr_lines = fixed([str(int(x) + 1) for x in a.indptr], 13, 6)
+    ind_lines = fixed([str(int(x) + 1) for x in a.indices], 13, 6)
+    val_lines = fixed([f"{float(v):.8E}" for v in a.data], 5, 15)
+    total = len(ptr_lines) + len(ind_lines) + len(val_lines)
+
+    with Path(path).open("w") as fh:
+        fh.write(f"{title:<72s}{key:<8s}\n")
+        fh.write(
+            f"{total:14d}{len(ptr_lines):14d}{len(ind_lines):14d}{len(val_lines):14d}\n"
+        )
+        fh.write(f"{'RSA':<14s}{n:14d}{n:14d}{nnz:14d}{0:14d}\n")
+        fh.write(f"{ptrfmt:<16s}{indfmt:<16s}{valfmt:<20s}\n")
+        for line in ptr_lines + ind_lines + val_lines:
+            fh.write(line + "\n")

@@ -1,0 +1,83 @@
+"""Matrix-Market-style I/O for symmetric sparse matrices.
+
+Supports the ``coordinate real symmetric`` flavour of the MatrixMarket
+exchange format, which is how the Harwell-Boeing test matrices the paper
+uses (BCSSTK15 etc.) are distributed today.  We implement our own reader
+and writer so the library has no runtime dependency on data files being in
+scipy's supported variants, and so pattern-only files get deterministic
+values.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparse.build import from_triplets
+from repro.sparse.csc import SymCSC
+
+
+def write_matrix_market(a: SymCSC, path: str | Path) -> None:
+    """Write the lower triangle of *a* in MatrixMarket coordinate format."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real symmetric\n")
+        fh.write(f"% written by repro; n={a.n} nnz_lower={a.nnz_lower}\n")
+        fh.write(f"{a.n} {a.n} {a.nnz_lower}\n")
+        for j in range(a.n):
+            rows, vals = a.column(j)
+            for i, v in zip(rows, vals):
+                fh.write(f"{int(i) + 1} {j + 1} {float(v)!r}\n")
+
+
+def read_matrix_market(path: str | Path) -> SymCSC:
+    """Read a ``coordinate real|pattern symmetric`` MatrixMarket file."""
+    path = Path(path)
+    with path.open() as fh:
+        return _parse_matrix_market(fh)
+
+
+def _parse_matrix_market(fh: io.TextIOBase) -> SymCSC:
+    header = fh.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise ValueError("not a MatrixMarket file (missing %%MatrixMarket header)")
+    tokens = header.lower().split()
+    if "coordinate" not in tokens:
+        raise ValueError("only coordinate-format MatrixMarket files are supported")
+    if "symmetric" not in tokens:
+        raise ValueError("only symmetric MatrixMarket matrices are supported")
+    pattern = "pattern" in tokens
+
+    line = fh.readline()
+    while line.startswith("%"):
+        line = fh.readline()
+    nrows, ncols, nnz = (int(x) for x in line.split())
+    if nrows != ncols:
+        raise ValueError(f"matrix must be square, got {nrows} x {ncols}")
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    for k in range(nnz):
+        parts = fh.readline().split()
+        rows[k] = int(parts[0]) - 1
+        cols[k] = int(parts[1]) - 1
+        if pattern:
+            # Deterministic SPD-friendly values: -1 off-diagonal, row-degree
+            # dominance is added below.
+            vals[k] = 1.0 if rows[k] == cols[k] else -1.0
+        else:
+            vals[k] = float(parts[2])
+
+    if pattern:
+        # Enforce diagonal dominance so the pattern matrix is SPD.
+        deg = np.zeros(nrows)
+        off = rows != cols
+        np.add.at(deg, rows[off], 1.0)
+        np.add.at(deg, cols[off], 1.0)
+        rows = np.concatenate([rows[off], np.arange(nrows)])
+        cols = np.concatenate([cols[off], np.arange(nrows)])
+        vals = np.concatenate([vals[off], deg + 1.0])
+    return from_triplets(nrows, rows, cols, vals)

@@ -1,0 +1,57 @@
+"""Elementary sparse linear-algebra operations used for verification.
+
+These are deliberately simple reference implementations — the production
+paths all go through the supernodal kernels; these exist so that every
+solver variant can be checked against an independent computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import LowerCSC, SymCSC
+
+
+def matvec(a: SymCSC, x: np.ndarray) -> np.ndarray:
+    """``A @ x`` for a symmetric matrix stored as a lower triangle.
+
+    *x* may be a vector of length n or an ``(n, m)`` block of vectors.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[:, None]
+    y = np.zeros_like(x)
+    for j in range(a.n):
+        rows, vals = a.column(j)
+        # Lower-triangle contribution A[rows, j] * x[j]
+        y[rows] += vals[:, None] * x[j]
+        # Mirror (strictly lower) contribution A[j, rows] * x[rows]
+        strict = rows != j
+        if strict.any():
+            y[j] += vals[strict] @ x[rows[strict]]
+    return y[:, 0] if squeeze else y
+
+
+def lower_triangular_matvec(l: LowerCSC, x: np.ndarray) -> np.ndarray:
+    """``L @ x`` for a lower-triangular CSC matrix."""
+    x = np.asarray(x, dtype=np.float64)
+    squeeze = x.ndim == 1
+    if squeeze:
+        x = x[:, None]
+    y = np.zeros_like(x)
+    for j in range(l.n):
+        rows, vals = l.column(j)
+        y[rows] += vals[:, None] * x[j]
+    return y[:, 0] if squeeze else y
+
+
+def residual_norm(a: SymCSC, x: np.ndarray, b: np.ndarray) -> float:
+    """``||A x - b||_2`` (Frobenius norm for multiple right-hand sides)."""
+    return float(np.linalg.norm(matvec(a, x) - b))
+
+
+def relative_residual(a: SymCSC, x: np.ndarray, b: np.ndarray) -> float:
+    """``||A x - b|| / ||b||`` with a floor to avoid division by zero."""
+    denom = max(float(np.linalg.norm(b)), np.finfo(float).tiny)
+    return residual_norm(a, x, b) / denom

@@ -1,0 +1,69 @@
+"""Fill pattern of the Cholesky factor L.
+
+Uses the row-subtree characterisation (Liu): the nonzero columns of row i
+of L are precisely the nodes on the paths in the elimination tree from each
+``k`` with ``A[i, k] != 0, k < i`` up towards ``i``.  Traversing those paths
+with marking touches every nonzero of L exactly once, so the whole symbolic
+factorization is O(nnz(L)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import SymCSC
+from repro.symbolic.etree import NO_PARENT
+
+
+def symbolic_factor_pattern(
+    a: SymCSC, parent: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSC pattern (indptr, indices) of L, diagonal first, rows sorted.
+
+    *parent* must be the elimination tree of *a* (in the same ordering).
+    """
+    n = a.n
+    cols_of_row: list[list[int]] = [[] for _ in range(n)]
+    # Precompute, for each row i, the columns k < i with A[i, k] != 0
+    # (the transpose view of our lower-triangle CSC storage).
+    row_lists: list[list[int]] = [[] for _ in range(n)]
+    for k in range(n):
+        rows, _ = a.column(k)
+        for i in rows:
+            if int(i) > k:
+                row_lists[int(i)].append(k)
+
+    mark = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        mark[i] = i
+        for k in row_lists[i]:
+            j = k
+            while j != NO_PARENT and j < i and mark[j] != i:
+                cols_of_row[i].append(j)
+                mark[j] = i
+                j = int(parent[j])
+
+    counts = np.ones(n, dtype=np.int64)  # diagonal entries
+    for i in range(n):
+        for j in cols_of_row[i]:
+            counts[j] += 1
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.empty(int(indptr[-1]), dtype=np.int64)
+    fill = indptr[:-1].copy()
+    for j in range(n):
+        indices[fill[j]] = j  # diagonal leads each column
+        fill[j] += 1
+    for i in range(n):
+        for j in sorted(cols_of_row[i]):
+            indices[fill[j]] = i
+            fill[j] += 1
+    # Rows within a column arrive in increasing i automatically (outer loop
+    # over i ascending), so each column is diagonal-first then sorted.
+    return indptr, indices
+
+
+def column_counts(a: SymCSC, parent: np.ndarray) -> np.ndarray:
+    """nnz of each column of L (including the diagonal)."""
+    indptr, _ = symbolic_factor_pattern(a, parent)
+    return np.diff(indptr)

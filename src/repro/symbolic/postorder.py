@@ -1,0 +1,96 @@
+"""Tree utilities: children lists, postorder, levels.
+
+Postordering the elimination tree is what makes the columns of each
+supernode (and of each subtree) contiguous, which both the supernode
+detector and the subtree-to-subcube mapping require.  A postorder is itself
+an equivalent reordering of the matrix (it preserves the fill pattern up to
+renumbering), so the driver composes it with the fill-reducing permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ordering.permutation import Permutation
+from repro.symbolic.etree import NO_PARENT
+
+
+def children_lists(parent: np.ndarray) -> list[list[int]]:
+    """Children of each node, each list sorted ascending."""
+    n = parent.shape[0]
+    kids: list[list[int]] = [[] for _ in range(n)]
+    for j in range(n):
+        p = int(parent[j])
+        if p != NO_PARENT:
+            kids[p].append(j)
+    return kids
+
+
+def postorder(parent: np.ndarray) -> Permutation:
+    """A postorder permutation (new <- old) of the forest.
+
+    Children are visited in ascending order, iteratively (no recursion, so
+    path-shaped trees of 10^5 nodes are fine).
+    """
+    n = parent.shape[0]
+    kids = children_lists(parent)
+    roots = [j for j in range(n) if parent[j] == NO_PARENT]
+    out = np.empty(n, dtype=np.int64)
+    k = 0
+    for root in roots:
+        stack: list[tuple[int, int]] = [(root, 0)]
+        while stack:
+            node, child_idx = stack.pop()
+            if child_idx < len(kids[node]):
+                stack.append((node, child_idx + 1))
+                stack.append((kids[node][child_idx], 0))
+            else:
+                out[k] = node
+                k += 1
+    if k != n:
+        raise ValueError("parent array does not describe a forest")
+    return Permutation(out)
+
+
+def relabel_tree(parent: np.ndarray, perm: Permutation) -> np.ndarray:
+    """Parent array after renumbering nodes with *perm* (new <- old)."""
+    inv = perm.inverse().perm
+    n = parent.shape[0]
+    out = np.full(n, NO_PARENT, dtype=np.int64)
+    for old in range(n):
+        p = int(parent[old])
+        if p != NO_PARENT:
+            out[inv[old]] = inv[p]
+    return out
+
+
+def tree_levels(parent: np.ndarray) -> np.ndarray:
+    """Depth of each node (roots at level 0).
+
+    Matches the paper's Figure 1 convention: the topmost (root) supernode is
+    level 0 and levels grow downwards.
+    """
+    n = parent.shape[0]
+    level = -np.ones(n, dtype=np.int64)
+    for j in range(n - 1, -1, -1):
+        p = int(parent[j])
+        if p == NO_PARENT:
+            level[j] = 0
+        else:
+            if level[p] < 0:
+                # Parents always have higher indices, so a reverse sweep
+                # sees every parent before its children.
+                raise ValueError("parent array must satisfy parent[j] > j")
+            level[j] = level[p] + 1
+    return level
+
+
+def subtree_sizes(parent: np.ndarray) -> np.ndarray:
+    """Number of nodes in the subtree rooted at each node (incl. itself)."""
+    n = parent.shape[0]
+    size = np.ones(n, dtype=np.int64)
+    for j in range(n):
+        p = int(parent[j])
+        if p != NO_PARENT:
+            size[p] += size[j]
+    return size

@@ -1,0 +1,66 @@
+"""Rendering of elimination trees (Graphviz DOT and ASCII).
+
+Produces the Figure 1(b)-style picture: the supernodal tree with each
+node's column range and, optionally, its subtree-to-subcube processor set.
+DOT output can be piped to ``dot -Tpng`` where Graphviz is available; the
+ASCII form is what the examples print.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.subtree_subcube import ProcSet
+from repro.symbolic.stree import SupernodalTree
+
+
+def _node_label(stree: SupernodalTree, s: int, assign: "list[ProcSet] | None") -> str:
+    sn = stree.supernodes[s]
+    cols = f"{sn.col_lo}" if sn.t == 1 else f"{sn.col_lo}..{sn.col_hi - 1}"
+    label = f"sn{s}: cols {cols} (t={sn.t}, n={sn.n})"
+    if assign is not None:
+        ps = assign[s]
+        label += f"\\nP{ps.start}" if ps.size == 1 else f"\\nP{ps.start}-P{ps.stop - 1}"
+    return label
+
+
+def to_dot(
+    stree: SupernodalTree,
+    *,
+    assign: "list[ProcSet] | None" = None,
+    graph_name: str = "etree",
+) -> str:
+    """Graphviz DOT source for the supernodal tree (root at top)."""
+    lines = [f"digraph {graph_name} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for s in range(stree.nsuper):
+        lines.append(f'  n{s} [label="{_node_label(stree, s, assign)}"];')
+    for s in range(stree.nsuper):
+        p = int(stree.parent[s])
+        if p >= 0:
+            lines.append(f"  n{p} -> n{s};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(
+    stree: SupernodalTree,
+    *,
+    assign: "list[ProcSet] | None" = None,
+    max_nodes: int = 200,
+) -> str:
+    """Indented ASCII rendering (roots first, children beneath)."""
+    lines: list[str] = []
+    count = 0
+
+    def walk(s: int, depth: int) -> None:
+        nonlocal count
+        if count >= max_nodes:
+            return
+        count += 1
+        lines.append("  " * depth + _node_label(stree, s, assign).replace("\\n", "  "))
+        for c in sorted(stree.children[s], reverse=True):
+            walk(c, depth + 1)
+
+    for root in stree.roots():
+        walk(root, 0)
+    if count >= max_nodes:
+        lines.append(f"... ({stree.nsuper - max_nodes} more supernodes)")
+    return "\n".join(lines)

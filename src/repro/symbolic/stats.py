@@ -1,0 +1,100 @@
+"""Elimination-tree and load-balance statistics.
+
+Quantifies the structural assumptions behind the paper's analysis:
+nested dissection gives *almost balanced* trees (Section 3.1), and the
+overhead due to residual imbalance "tends to saturate at 3 to 4
+processors ... and does not continue to increase" — a claim the test
+suite checks with :func:`subtree_imbalance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.symbolic.stree import SupernodalTree
+from repro.util.flops import supernode_solve_flops
+from repro.util.validation import check_power_of_two
+
+if TYPE_CHECKING:  # avoid a circular import at package-init time
+    from repro.mapping.subtree_subcube import ProcSet
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Shape statistics of a supernodal elimination tree."""
+
+    nsuper: int
+    height: int
+    n_leaves: int
+    max_supernode_width: int
+    mean_supernode_width: float
+    top_separator_width: int
+    total_solve_flops: int
+
+    @property
+    def is_chainlike(self) -> bool:
+        """Heuristic: a path-shaped tree (the RCM failure mode)."""
+        return self.n_leaves <= max(self.nsuper // 20, 2)
+
+
+def tree_stats(stree: SupernodalTree) -> TreeStats:
+    """Collect the shape statistics of *stree*."""
+    widths = [sn.t for sn in stree.supernodes]
+    leaves = sum(1 for s in range(stree.nsuper) if not stree.children[s])
+    roots = stree.roots()
+    top_width = max((stree.supernodes[r].t for r in roots), default=0)
+    return TreeStats(
+        nsuper=stree.nsuper,
+        height=int(stree.level.max()) + 1 if stree.nsuper else 0,
+        n_leaves=leaves,
+        max_supernode_width=max(widths, default=0),
+        mean_supernode_width=float(np.mean(widths)) if widths else 0.0,
+        top_separator_width=top_width,
+        total_solve_flops=stree.solve_flops(),
+    )
+
+
+def work_per_processor(
+    stree: SupernodalTree, assign: "list[ProcSet]", *, nrhs: int = 1
+) -> np.ndarray:
+    """Triangular-solve flops charged to each processor.
+
+    A supernode's work is split evenly over its processor set (the
+    block-cyclic mapping is balanced to within one block).
+    """
+    p = max(ps.stop for ps in assign)
+    work = np.zeros(p)
+    for s, sn in enumerate(stree.supernodes):
+        procs = assign[s]
+        share = supernode_solve_flops(sn.n, sn.t, nrhs) / procs.size
+        work[procs.start : procs.stop] += share
+    return work
+
+
+def subtree_imbalance(stree: SupernodalTree, p: int) -> float:
+    """Load-imbalance factor ``max_work / mean_work`` under subtree-to-subcube.
+
+    1.0 is perfect balance.  The paper observes this saturating around
+    3-4 processors for nested-dissection trees rather than growing with p.
+    """
+    check_power_of_two(p, "p")
+    from repro.mapping.subtree_subcube import subtree_to_subcube
+
+    assign = subtree_to_subcube(stree, p)
+    work = work_per_processor(stree, assign)
+    mean = float(work.mean())
+    return float(work.max()) / mean if mean > 0 else 1.0
+
+
+def per_level_profile(stree: SupernodalTree) -> list[tuple[int, int, int]]:
+    """Per tree level: (level, supernode count, solve flops at that level)."""
+    out: dict[int, list[int]] = {}
+    for s, sn in enumerate(stree.supernodes):
+        lvl = int(stree.level[s])
+        entry = out.setdefault(lvl, [0, 0])
+        entry[0] += 1
+        entry[1] += supernode_solve_flops(sn.n, sn.t)
+    return [(lvl, cnt, fl) for lvl, (cnt, fl) in sorted(out.items())]

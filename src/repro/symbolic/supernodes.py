@@ -1,0 +1,104 @@
+"""Supernode detection.
+
+A (fundamental) supernode is a maximal run of consecutive columns
+``i_1 .. i_t`` of L such that each ``i_{j+1}`` is the parent of ``i_j`` in
+the elimination tree and all t columns have identical below-diagonal
+pattern (paper Section 2.1).  Equivalently, on a postordered tree:
+``parent(j) == j + 1``, node ``j+1`` has exactly one child, and
+``count(j) == count(j+1) + 1``.
+
+The optional *relaxation* merges a child supernode into its parent when
+doing so introduces at most ``relax`` artificial zeros per column — the
+standard amalgamation trick that fattens tiny supernodes so the dense
+kernels (and the pipelined parallel algorithm) get reasonable block sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.symbolic.etree import NO_PARENT
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class SupernodePartition:
+    """Partition of columns 0..n-1 into supernodes of consecutive columns.
+
+    ``boundaries`` has length nsuper+1 with ``boundaries[0] == 0`` and
+    ``boundaries[-1] == n``; supernode s owns columns
+    ``boundaries[s] : boundaries[s+1]``.
+    """
+
+    boundaries: np.ndarray
+
+    def __post_init__(self) -> None:
+        b = np.asarray(self.boundaries, dtype=np.int64)
+        object.__setattr__(self, "boundaries", b)
+        require(b.ndim == 1 and b.shape[0] >= 1, "boundaries must be non-empty 1-D")
+        require(b[0] == 0, "boundaries must start at 0")
+        require(bool(np.all(np.diff(b) > 0)), "boundaries must be strictly increasing")
+
+    @property
+    def nsuper(self) -> int:
+        return int(self.boundaries.shape[0] - 1)
+
+    @property
+    def n(self) -> int:
+        return int(self.boundaries[-1])
+
+    def columns(self, s: int) -> tuple[int, int]:
+        """Half-open column range of supernode *s*."""
+        return int(self.boundaries[s]), int(self.boundaries[s + 1])
+
+    def width(self, s: int) -> int:
+        lo, hi = self.columns(s)
+        return hi - lo
+
+    def column_to_supernode(self) -> np.ndarray:
+        """Array mapping each column to its supernode index."""
+        out = np.empty(self.n, dtype=np.int64)
+        for s in range(self.nsuper):
+            lo, hi = self.columns(s)
+            out[lo:hi] = s
+        return out
+
+
+def find_supernodes(
+    parent: np.ndarray,
+    col_counts: np.ndarray,
+    *,
+    relax: int = 0,
+) -> SupernodePartition:
+    """Fundamental supernodes, optionally relaxed by amalgamation.
+
+    *parent* must be a postordered elimination tree (children < parent and
+    subtrees contiguous); *col_counts* is nnz per column of L including the
+    diagonal.
+    """
+    n = parent.shape[0]
+    require(col_counts.shape[0] == n, "col_counts must match parent length")
+    nchildren = np.zeros(n, dtype=np.int64)
+    for j in range(n):
+        p = int(parent[j])
+        if p != NO_PARENT:
+            nchildren[p] += 1
+
+    starts = [0]
+    for j in range(1, n):
+        fundamental = (
+            int(parent[j - 1]) == j
+            and nchildren[j] == 1
+            and int(col_counts[j - 1]) == int(col_counts[j]) + 1
+        )
+        relaxed = (
+            relax > 0
+            and int(parent[j - 1]) == j
+            and nchildren[j] == 1
+            and 0 <= int(col_counts[j - 1]) - int(col_counts[j]) - 1 <= relax
+        )
+        if not (fundamental or relaxed):
+            starts.append(j)
+    return SupernodePartition(np.asarray(starts + [n], dtype=np.int64))

@@ -1,0 +1,48 @@
+"""Block-cyclic index arithmetic.
+
+The pipelined triangular solvers partition the rows (forward) or columns
+(backward) of each trapezoidal supernode among ``q`` processors in a
+block-cyclic fashion with block size ``b`` (paper Section 2, Figure 3).
+These helpers centralise the index algebra: global row -> block, block ->
+owner, owner -> list of blocks, block -> half-open global range.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+def block_count(n: int, b: int) -> int:
+    """Number of blocks covering ``n`` items with block size ``b`` (last may be short)."""
+    check_positive(b, "block size b")
+    return -(-n // b)
+
+
+def block_of(index: int, b: int) -> int:
+    """Block number containing global *index*."""
+    return index // b
+
+
+def block_range(block: int, b: int, n: int) -> tuple[int, int]:
+    """Half-open global index range ``[lo, hi)`` of *block* within ``n`` items."""
+    lo = block * b
+    hi = min(lo + b, n)
+    if lo >= n:
+        raise IndexError(f"block {block} starts at {lo} >= n={n}")
+    return lo, hi
+
+
+def block_owner_cyclic(block: int, q: int) -> int:
+    """Owner of *block* under a cyclic distribution over ``q`` processors."""
+    check_positive(q, "processor count q")
+    return block % q
+
+
+def cyclic_blocks_of_owner(owner: int, nblocks: int, q: int) -> list[int]:
+    """All block numbers owned by *owner* under a cyclic distribution."""
+    return list(range(owner, nblocks, q))
+
+
+def split_blocks(n: int, b: int) -> list[tuple[int, int]]:
+    """Half-open ranges of all blocks of size ``b`` covering ``n`` items."""
+    return [block_range(k, b, n) for k in range(block_count(n, b))]

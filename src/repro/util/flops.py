@@ -1,0 +1,38 @@
+"""Floating-point operation counts for the dense kernels.
+
+The paper reports performance in MFLOPS; the counts below are the standard
+ones (each multiply-add pair counted as 2 flops) so that simulated MFLOPS
+are comparable with the paper's Figure 7/8 numbers.
+"""
+
+from __future__ import annotations
+
+
+def trsm_flops(t: int, m: int = 1) -> int:
+    """Flops to solve a dense t x t triangular system with m right-hand sides.
+
+    ``x_i = (b_i - sum_j L_ij x_j) / L_ii`` costs t divides plus
+    t(t-1)/2 multiply-adds per RHS: ``t**2 * m`` flops total.
+    """
+    return t * t * m
+
+
+def gemm_flops(rows: int, cols: int, m: int = 1) -> int:
+    """Flops of a (rows x cols) @ (cols x m) dense multiply-accumulate."""
+    return 2 * rows * cols * m
+
+
+def cholesky_flops(t: int) -> int:
+    """Flops of a dense t x t Cholesky factorization (~t^3/3)."""
+    return t * t * t // 3 + t * t
+
+
+def supernode_solve_flops(n: int, t: int, m: int = 1) -> int:
+    """Flops for one triangular solve over an n x t trapezoidal supernode.
+
+    Triangular part: ``t^2 m``; rectangular update: ``2 (n - t) t m``.
+    Identical for forward elimination and backward substitution.
+    """
+    if not 0 <= t <= n:
+        raise ValueError(f"supernode requires 0 <= t <= n, got t={t}, n={n}")
+    return trsm_flops(t, m) + gemm_flops(n - t, t, m)

@@ -1,0 +1,69 @@
+"""Shared fixtures: small matrices and prepared solvers, computed once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import ParallelSparseSolver
+from repro.machine.presets import cray_t3d
+from repro.sparse.generators import (
+    fe_mesh_2d,
+    grid2d_laplacian,
+    grid3d_laplacian,
+    random_spd,
+)
+from repro.symbolic.analyze import analyze
+
+
+@pytest.fixture(scope="session")
+def grid8():
+    return grid2d_laplacian(8)
+
+
+@pytest.fixture(scope="session")
+def grid3d5():
+    return grid3d_laplacian(5)
+
+
+@pytest.fixture(scope="session")
+def fe9():
+    return fe_mesh_2d(9, seed=3)
+
+
+@pytest.fixture(scope="session")
+def rand60():
+    return random_spd(60, density=0.05, seed=7)
+
+
+@pytest.fixture(scope="session")
+def sym_grid8(grid8):
+    return analyze(grid8)
+
+
+@pytest.fixture(scope="session")
+def sym_grid3d5(grid3d5):
+    return analyze(grid3d5)
+
+
+@pytest.fixture(scope="session")
+def prepared_grid12():
+    """A factored 12x12 grid solver base shared by the parallel-solve tests."""
+    a = grid2d_laplacian(12)
+    return ParallelSparseSolver(a, p=1, spec=cray_t3d()).prepare()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+def clone_for_p(base: ParallelSparseSolver, p: int, **kwargs) -> ParallelSparseSolver:
+    """Reuse a prepared solver's factorization at a different p."""
+    from repro.mapping.subtree_subcube import subtree_to_subcube
+
+    solver = ParallelSparseSolver(base.a, p=p, spec=kwargs.pop("spec", base.spec), **kwargs)
+    solver.symbolic = base.symbolic
+    solver.factor = base.factor
+    solver.assign = subtree_to_subcube(base.symbolic.stree, p)
+    return solver

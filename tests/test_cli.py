@@ -1,0 +1,50 @@
+"""CLI (`python -m repro`) smoke tests."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.matrix == "grid2d" and args.p == 16
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--matrix", "hilbert"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "BCSSTK15" in out and "CUBE35" in out
+
+    def test_solve_small(self, capsys):
+        assert main(["solve", "--matrix", "grid2d", "--size", "8", "--p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "residual" in out and "FBsolve" in out
+
+    def test_solve_with_refinement(self, capsys):
+        assert main(
+            ["solve", "--matrix", "fe2d", "--size", "7", "--p", "2", "--refine", "1"]
+        ) == 0
+        assert "FBsolve" in capsys.readouterr().out
+
+    def test_schedules(self, capsys):
+        assert main(["schedules", "--nb", "5", "--tb", "3", "--q", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(a)" in out and "Figure 4" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--matrix", "grid2d-small", "--p", "1", "4", "--nrhs", "1"]) == 0
+        assert "Factorization MFLOPS" in capsys.readouterr().out
+
+    def test_fig8_small(self, capsys):
+        assert main(["fig8", "--matrix", "grid2d-small", "--p", "1", "4", "--nrhs", "1", "5"]) == 0
+        assert "MFLOPS vs p" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Simulated collectives validate the closed-form cost formulas."""
+
+import math
+
+import pytest
+
+from repro.machine.coll_sim import (
+    all_to_all_personalized_graph,
+    broadcast_graph,
+    reduce_graph,
+    simulated_collective_time,
+)
+from repro.machine.collectives import (
+    all_to_all_personalized_time,
+    broadcast_time,
+    reduce_time,
+)
+from repro.machine.spec import MachineSpec
+
+
+def spec():
+    return MachineSpec(t_s=1e-5, t_w=1e-6, t_flop=1e-9, t_call=0.0, topology="hypercube")
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("q", [2, 4, 8, 16])
+    def test_matches_formula(self, q):
+        s = spec()
+        t, _ = simulated_collective_time(broadcast_graph(q, 100), s)
+        assert t == pytest.approx(broadcast_time(s, q, 100), rel=1e-9)
+
+    def test_all_procs_reached(self):
+        g = broadcast_graph(8, 10)
+        procs = {task.proc for task in g.tasks}
+        assert procs == set(range(8))
+
+    def test_log_steps(self):
+        s = spec()
+        t4, _ = simulated_collective_time(broadcast_graph(4, 100), s)
+        t16, _ = simulated_collective_time(broadcast_graph(16, 100), s)
+        assert t16 / t4 == pytest.approx(2.0, rel=1e-9)  # log 16 / log 4
+
+    def test_nonroot_source(self):
+        s = spec()
+        t, _ = simulated_collective_time(broadcast_graph(8, 50, root=5), s)
+        assert t == pytest.approx(broadcast_time(s, 8, 50), rel=1e-9)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            broadcast_graph(6, 10)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("q", [2, 4, 8])
+    def test_matches_formula(self, q):
+        s = spec()
+        t, _ = simulated_collective_time(reduce_graph(q, 64), s)
+        assert t == pytest.approx(reduce_time(s, q, 64), rel=1e-9)
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("q", [2, 4, 8])
+    def test_matches_pairwise_formula(self, q):
+        s = spec()
+        t, _ = simulated_collective_time(all_to_all_personalized_graph(q, 32), s)
+        expect = all_to_all_personalized_time(s, q, 32, algorithm="pairwise")
+        assert t == pytest.approx(expect, rel=1e-9)
+
+    def test_message_count(self):
+        g = all_to_all_personalized_graph(4, 10)
+        s = spec()
+        _, sim = simulated_collective_time(g, s)
+        # q(q-1) personalized messages
+        assert sim.message_count == 4 * 3
+
+    def test_volume(self):
+        g = all_to_all_personalized_graph(8, 25)
+        _, sim = simulated_collective_time(g, spec())
+        assert sim.comm_volume_words == 8 * 7 * 25
+
+
+class TestHopsMatter:
+    def test_mesh_slower_than_hypercube_with_hop_cost(self):
+        """On a 2-D mesh with per-hop cost, the exchange partners of the
+        pairwise algorithm are far apart, so the same collective is
+        slower than on a hypercube."""
+        base = dict(t_s=1e-5, t_w=1e-6, t_flop=1e-9, t_call=0.0, t_h=5e-6)
+        hyper = MachineSpec(topology="hypercube", **base)
+        mesh = MachineSpec(topology="mesh2d", **base)
+        g = all_to_all_personalized_graph(16, 64)
+        th, _ = simulated_collective_time(g, hyper)
+        g2 = all_to_all_personalized_graph(16, 64)
+        tm, _ = simulated_collective_time(g2, mesh)
+        assert tm > th

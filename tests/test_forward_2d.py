@@ -1,0 +1,86 @@
+"""The 2-D-layout forward solve: correct but unscalable (Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.forward import parallel_forward
+from repro.core.forward_2d import parallel_forward_2d
+from repro.core.solver import ParallelSparseSolver
+from repro.machine.presets import cray_t3d
+from repro.mapping.subtree_subcube import subtree_to_subcube
+from repro.numeric.trisolve import forward_supernodal
+from repro.sparse.generators import fe_mesh_2d, grid2d_laplacian
+
+
+@pytest.fixture(scope="module")
+def setup():
+    a = grid2d_laplacian(12)
+    base = ParallelSparseSolver(a, p=1, spec=cray_t3d()).prepare()
+    rng = np.random.default_rng(17)
+    b = rng.normal(size=(a.n, 2))
+    bp = base.symbolic.perm.apply_to_vector(b)
+    y_ref = forward_supernodal(base.factor, bp)
+    return base, bp, y_ref
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    def test_matches_serial(self, setup, p):
+        base, bp, y_ref = setup
+        assign = subtree_to_subcube(base.symbolic.stree, p)
+        y, _ = parallel_forward_2d(base.factor, assign, cray_t3d(), bp, b=4, nproc=p)
+        np.testing.assert_allclose(y, y_ref, atol=1e-11)
+
+    @pytest.mark.parametrize("b", [1, 3, 8])
+    def test_block_size_invariant(self, setup, b):
+        base, bp, y_ref = setup
+        assign = subtree_to_subcube(base.symbolic.stree, 4)
+        y, _ = parallel_forward_2d(base.factor, assign, cray_t3d(), bp, b=b, nproc=4)
+        np.testing.assert_allclose(y, y_ref, atol=1e-11)
+
+    def test_vector_rhs(self, setup):
+        base, bp, y_ref = setup
+        assign = subtree_to_subcube(base.symbolic.stree, 4)
+        y, _ = parallel_forward_2d(base.factor, assign, cray_t3d(), bp[:, 0], nproc=4)
+        np.testing.assert_allclose(y, y_ref[:, 0], atol=1e-11)
+
+
+class TestUnscalability:
+    def test_one_d_beats_two_d_at_scale(self):
+        """The paper's reason for Section 4: at larger p the redistributed
+        1-D pipelined solver outruns solving on the 2-D layout."""
+        a = fe_mesh_2d(32, seed=21)
+        base = ParallelSparseSolver(a, p=1, spec=cray_t3d()).prepare()
+        rng = np.random.default_rng(3)
+        bp = base.symbolic.perm.apply_to_vector(rng.normal(size=(a.n, 1)))
+        p = 64
+        assign = subtree_to_subcube(base.symbolic.stree, p)
+        _, sim1d = parallel_forward(base.factor, assign, cray_t3d(), bp, nproc=p)
+        _, sim2d = parallel_forward_2d(base.factor, assign, cray_t3d(), bp, nproc=p)
+        assert sim1d.makespan < sim2d.makespan
+
+    def test_two_d_comm_volume_larger(self):
+        a = fe_mesh_2d(24, seed=9)
+        base = ParallelSparseSolver(a, p=1, spec=cray_t3d()).prepare()
+        rng = np.random.default_rng(4)
+        bp = base.symbolic.perm.apply_to_vector(rng.normal(size=(a.n, 1)))
+        p = 16
+        assign = subtree_to_subcube(base.symbolic.stree, p)
+        _, sim1d = parallel_forward(base.factor, assign, cray_t3d(), bp, nproc=p)
+        _, sim2d = parallel_forward_2d(base.factor, assign, cray_t3d(), bp, nproc=p)
+        assert sim2d.comm_volume_words > sim1d.comm_volume_words
+
+    def test_efficiency_collapses_faster_in_2d(self):
+        """Efficiency ratio 2-D/1-D worsens as p grows — the 'unscalable'
+        table entry in measurable form."""
+        a = fe_mesh_2d(32, seed=21)
+        base = ParallelSparseSolver(a, p=1, spec=cray_t3d()).prepare()
+        rng = np.random.default_rng(5)
+        bp = base.symbolic.perm.apply_to_vector(rng.normal(size=(a.n, 1)))
+        ratios = []
+        for p in (4, 64):
+            assign = subtree_to_subcube(base.symbolic.stree, p)
+            _, s1 = parallel_forward(base.factor, assign, cray_t3d(), bp, nproc=p)
+            _, s2 = parallel_forward_2d(base.factor, assign, cray_t3d(), bp, nproc=p)
+            ratios.append(s2.makespan / s1.makespan)
+        assert ratios[1] > ratios[0]

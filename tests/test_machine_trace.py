@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.machine.events import TaskGraph, simulate
+from repro.machine.spec import MachineSpec
+from repro.machine.trace import (
+    critical_tasks,
+    gantt,
+    processor_stats,
+    utilisation_summary,
+)
+
+
+@pytest.fixture()
+def run():
+    spec = MachineSpec(t_flop=1e-6, t_s=1e-5, t_w=1e-6, t_call=0.0, topology="full")
+    g = TaskGraph(nproc=3)
+    a = g.add_task(0, 1.0, label="alpha")
+    b = g.add_task(1, 2.0, label="beta")
+    c = g.add_task(2, 0.5, label="gamma")
+    g.add_edge(a, b, words=100)
+    g.add_edge(b, c, words=50)
+    relay = g.add_task(0, 0.0, label="relay")
+    g.add_edge(c, relay)
+    return g, simulate(g, spec)
+
+
+class TestProcessorStats:
+    def test_busy_idle_partition_makespan(self, run):
+        g, sim = run
+        for s in processor_stats(g, sim):
+            assert s.busy_seconds + s.idle_seconds == pytest.approx(sim.makespan)
+
+    def test_task_counts(self, run):
+        g, sim = run
+        stats = {s.proc: s for s in processor_stats(g, sim)}
+        assert stats[0].tasks_run == 2  # alpha + relay
+        assert stats[1].tasks_run == 1
+
+    def test_message_accounting(self, run):
+        g, sim = run
+        stats = {s.proc: s for s in processor_stats(g, sim)}
+        assert stats[0].messages_sent == 1
+        assert stats[1].messages_received == 1
+        assert stats[0].words_sent == 100
+
+    def test_utilisation_bounded(self, run):
+        g, sim = run
+        for s in processor_stats(g, sim):
+            assert 0.0 <= s.utilisation <= 1.0
+
+
+class TestRendering:
+    def test_summary_mentions_each_proc(self, run):
+        g, sim = run
+        text = utilisation_summary(g, sim)
+        for p in range(3):
+            assert f"P{p}" in text
+
+    def test_gantt_dimensions(self, run):
+        g, sim = run
+        text = gantt(g, sim, width=60)
+        lines = text.splitlines()
+        assert len(lines) == 1 + 3
+        assert all(len(line) == len("P0   ") + 60 for line in lines[1:])
+
+    def test_gantt_marks_tasks(self, run):
+        g, sim = run
+        text = gantt(g, sim, width=60)
+        assert "a" in text and "b" in text and "g" in text
+
+    def test_gantt_hides_zero_cost_relays(self, run):
+        g, sim = run
+        assert "r" not in gantt(g, sim, width=60).splitlines()[1]
+
+    def test_gantt_rejects_empty(self):
+        g = TaskGraph(nproc=1)
+        g.add_task(0, 0.0)
+        sim = simulate(g, MachineSpec())
+        with pytest.raises(ValueError):
+            gantt(g, sim)
+
+    def test_critical_tasks_sorted(self, run):
+        g, sim = run
+        crit = critical_tasks(g, sim, top=3)
+        finishes = [f for _, _, f in crit]
+        assert finishes == sorted(finishes, reverse=True)
+        assert crit[0][1] in ("gamma", "relay")
+
+
+class TestTraceOnRealSolve:
+    def test_forward_solve_trace(self, prepared_grid12):
+        from repro.core.forward import build_forward_graph
+        from repro.machine.events import simulate as sim_run
+        from repro.mapping.subtree_subcube import subtree_to_subcube
+
+        base = prepared_grid12
+        assign = subtree_to_subcube(base.symbolic.stree, 4)
+        rhs = np.ones((base.a.n, 1))
+        g, _ = build_forward_graph(
+            base.factor, assign, base.spec, base.symbolic.perm.apply_to_vector(rhs), nproc=4
+        )
+        sim = sim_run(g, base.spec)
+        stats = processor_stats(g, sim)
+        assert sum(s.tasks_run for s in stats) == g.ntasks
+        text = utilisation_summary(g, sim)
+        assert "makespan" in text

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.numeric.ldlt import LDLTFactor, SingularPivotError, ldlt_simplicial, ldlt_solve
+from repro.sparse.build import from_dense
+from repro.symbolic.analyze import analyze
+
+
+class TestLDLTOnSPD:
+    def test_reconstructs_a(self, grid8):
+        sym = analyze(grid8)
+        f = ldlt_simplicial(sym)
+        l = f.l.to_dense()
+        np.testing.assert_allclose(l @ np.diag(f.d) @ l.T, sym.a_perm.to_dense(), atol=1e-10)
+
+    def test_unit_diagonal(self, grid8):
+        sym = analyze(grid8)
+        f = ldlt_simplicial(sym)
+        np.testing.assert_allclose(np.diag(f.l.to_dense()), 1.0)
+
+    def test_relates_to_cholesky(self, grid8):
+        """L_chol = L_ldlt * sqrt(D) for SPD matrices."""
+        from repro.numeric.simplicial import cholesky_simplicial
+
+        sym = analyze(grid8)
+        f = ldlt_simplicial(sym)
+        lc = cholesky_simplicial(sym).to_dense()
+        np.testing.assert_allclose(f.l.to_dense() * np.sqrt(f.d), lc, atol=1e-10)
+
+    def test_spd_inertia_all_positive(self, grid8):
+        sym = analyze(grid8)
+        pos, neg, zero = ldlt_simplicial(sym).inertia()
+        assert (pos, neg, zero) == (grid8.n, 0, 0)
+
+    def test_solve_matches_reference(self, grid8, rng):
+        from repro.sparse.ops import relative_residual
+
+        sym = analyze(grid8)
+        f = ldlt_simplicial(sym)
+        b = rng.normal(size=(grid8.n, 2))
+        bp = sym.perm.apply_to_vector(b)
+        x = sym.perm.unapply_to_vector(ldlt_solve(f, bp))
+        assert relative_residual(grid8, x, b) < 1e-12
+
+
+class TestLDLTIndefinite:
+    @pytest.fixture()
+    def quasi_definite(self):
+        # A KKT-style symmetric quasi-definite matrix: [[H, B^T], [B, -C]]
+        h = np.array([[4.0, 1.0], [1.0, 3.0]])
+        b = np.array([[1.0, -1.0]])
+        c = np.array([[2.0]])
+        top = np.hstack([h, b.T])
+        bottom = np.hstack([b, -c])
+        return from_dense(np.vstack([top, bottom]))
+
+    def test_factors_indefinite(self, quasi_definite):
+        sym = analyze(quasi_definite, method="natural")
+        f = ldlt_simplicial(sym)
+        l = f.l.to_dense()
+        np.testing.assert_allclose(
+            l @ np.diag(f.d) @ l.T, sym.a_perm.to_dense(), atol=1e-12
+        )
+
+    def test_inertia_counts_negative_block(self, quasi_definite):
+        sym = analyze(quasi_definite, method="natural")
+        pos, neg, zero = ldlt_simplicial(sym).inertia()
+        assert (pos, neg, zero) == (2, 1, 0)
+
+    def test_solve_indefinite(self, quasi_definite, rng):
+        from repro.sparse.ops import relative_residual
+
+        sym = analyze(quasi_definite, method="natural")
+        f = ldlt_simplicial(sym)
+        b = rng.normal(size=3)
+        x = sym.perm.unapply_to_vector(ldlt_solve(f, sym.perm.apply_to_vector(b)))
+        assert relative_residual(quasi_definite, x, b) < 1e-12
+
+    def test_cholesky_would_fail_here(self, quasi_definite):
+        from repro.numeric.frontal import NotPositiveDefiniteError
+        from repro.numeric.simplicial import cholesky_simplicial
+
+        sym = analyze(quasi_definite, method="natural")
+        with pytest.raises(NotPositiveDefiniteError):
+            cholesky_simplicial(sym)
+
+
+class TestPivotFailure:
+    def test_zero_pivot_detected(self):
+        a = from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        sym = analyze(a, method="natural")
+        with pytest.raises(SingularPivotError):
+            ldlt_simplicial(sym)
+
+    def test_pivot_tolerance(self):
+        a = from_dense(np.array([[1e-14, 1.0], [1.0, 1.0]]))
+        sym = analyze(a, method="natural")
+        ldlt_simplicial(sym)  # exact-zero check passes
+        with pytest.raises(SingularPivotError):
+            ldlt_simplicial(sym, pivot_tol=1e-10)

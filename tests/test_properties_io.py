@@ -1,0 +1,45 @@
+"""Property-based round-trip tests for persistence formats."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.numeric.serialize import load_factor, save_factor
+from repro.numeric.supernodal import cholesky_supernodal
+from repro.sparse.hb import read_harwell_boeing, write_harwell_boeing
+from repro.sparse.io import read_matrix_market, write_matrix_market
+from repro.symbolic.analyze import analyze
+from tests.test_properties import sparse_spd
+
+SLOW = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@SLOW
+@given(a=sparse_spd(max_n=20))
+def test_matrix_market_roundtrip_property(a, tmp_path_factory):
+    path = tmp_path_factory.mktemp("mm") / "m.mtx"
+    write_matrix_market(a, path)
+    back = read_matrix_market(path)
+    np.testing.assert_allclose(back.to_dense(), a.to_dense(), atol=1e-12)
+
+
+@SLOW
+@given(a=sparse_spd(max_n=20))
+def test_harwell_boeing_roundtrip_property(a, tmp_path_factory):
+    path = tmp_path_factory.mktemp("hb") / "m.rsa"
+    write_harwell_boeing(a, path)
+    back = read_harwell_boeing(path)
+    np.testing.assert_allclose(back.to_dense(), a.to_dense(), rtol=1e-6, atol=1e-9)
+
+
+@SLOW
+@given(a=sparse_spd(max_n=18))
+def test_factor_serialization_roundtrip_property(a, tmp_path_factory):
+    sym = analyze(a)
+    f = cholesky_supernodal(sym)
+    path = tmp_path_factory.mktemp("f") / "factor.npz"
+    save_factor(f, path)
+    back = load_factor(path)
+    np.testing.assert_allclose(back.to_dense(), f.to_dense(), atol=0)

@@ -1,0 +1,53 @@
+"""Iterative refinement on top of the parallel solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import ParallelSparseSolver
+from repro.sparse.generators import grid2d_laplacian
+from tests.conftest import clone_for_p
+
+
+class TestRefinement:
+    def test_refinement_does_not_hurt(self, prepared_grid12, rng):
+        b = rng.normal(size=prepared_grid12.a.n)
+        _, rep0 = prepared_grid12.solve(b, refine=0)
+        _, rep2 = prepared_grid12.solve(b, refine=2)
+        assert rep2.residual <= rep0.residual * 10  # already ~machine eps
+
+    def test_refinement_reduces_large_residual(self, rng):
+        """Perturb the factor to create a sloppy solve; refinement with the
+        perturbed factor still contracts the error because the residual is
+        computed with the exact A."""
+        a = grid2d_laplacian(10)
+        solver = ParallelSparseSolver(a, p=4).prepare()
+        # inject a small perturbation into one supernode block
+        blk = solver.factor.blocks[len(solver.factor.blocks) // 2]
+        blk += 1e-4 * np.sign(blk)
+        b = rng.normal(size=a.n)
+        _, rep0 = solver.solve(b, refine=0)
+        _, rep3 = solver.solve(b, refine=3)
+        assert rep3.residual < rep0.residual / 10
+
+    def test_refinement_time_accumulates(self, prepared_grid12, rng):
+        b = rng.normal(size=prepared_grid12.a.n)
+        _, rep0 = prepared_grid12.solve(b, refine=0, check=False)
+        _, rep2 = prepared_grid12.solve(b, refine=2, check=False)
+        assert rep2.fbsolve_seconds == pytest.approx(3 * rep0.fbsolve_seconds, rel=0.05)
+
+    def test_refined_flops_scale(self, prepared_grid12, rng):
+        b = rng.normal(size=prepared_grid12.a.n)
+        _, rep0 = prepared_grid12.solve(b, refine=0, check=False)
+        _, rep1 = prepared_grid12.solve(b, refine=1, check=False)
+        assert rep1.forward.flops == 2 * rep0.forward.flops
+
+    def test_negative_refine_rejected(self, prepared_grid12):
+        with pytest.raises(ValueError):
+            prepared_grid12.solve(np.ones(prepared_grid12.a.n), refine=-1)
+
+    def test_refinement_parallel_matches_serial(self, prepared_grid12, rng):
+        b = rng.normal(size=(prepared_grid12.a.n, 2))
+        x1, _ = prepared_grid12.solve(b, refine=1)
+        s8 = clone_for_p(prepared_grid12, 8)
+        x8, _ = s8.solve(b, refine=1)
+        np.testing.assert_allclose(x1, x8, atol=1e-11)

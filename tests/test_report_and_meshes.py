@@ -1,0 +1,91 @@
+"""Report generator and the extra mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import ParallelSparseSolver
+from repro.experiments.report import ReportOptions, generate_report
+from repro.sparse.generators import anisotropic_laplacian, graded_mesh_2d, model_problem
+
+
+class TestExtraMeshes:
+    def test_anisotropic_spd(self):
+        a = anisotropic_laplacian(7, epsilon=0.05)
+        assert np.linalg.eigvalsh(a.to_dense()).min() > 0
+
+    def test_anisotropic_weak_direction(self):
+        a = anisotropic_laplacian(5, epsilon=0.01)
+        d = a.to_dense()
+        # x-neighbours (adjacent columns) couple at -1, y-neighbours at -eps
+        assert d[0, 1] == pytest.approx(-1.0)
+        assert d[0, 5] == pytest.approx(-0.01)
+
+    def test_anisotropic_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            anisotropic_laplacian(5, epsilon=0.0)
+
+    def test_graded_coords_skewed(self):
+        g = graded_mesh_2d(9, grading=3.0)
+        # grading pushes mass toward the origin: the median coordinate is
+        # well below the midpoint
+        assert np.median(g.coords[:, 0]) < 0.35 * g.coords[:, 0].max()
+
+    def test_graded_rejects_bad_grading(self):
+        with pytest.raises(ValueError):
+            graded_mesh_2d(5, grading=0.5)
+
+    @pytest.mark.parametrize("name", ["aniso2d", "graded2d"])
+    def test_model_problem_dispatch(self, name):
+        assert model_problem(name, 6).n == 36
+
+    @pytest.mark.parametrize("name", ["aniso2d", "graded2d"])
+    def test_solve_end_to_end(self, name, rng):
+        a = model_problem(name, 8)
+        solver = ParallelSparseSolver(a, p=4).prepare()
+        _, rep = solver.solve(rng.normal(size=a.n))
+        assert rep.residual < 1e-10
+
+    def test_graded_mesh_still_parallelises(self, rng):
+        """Even with skewed separators the solver must keep a speedup."""
+        from repro.mapping.subtree_subcube import subtree_to_subcube
+
+        a = graded_mesh_2d(20, grading=2.5)
+        base = ParallelSparseSolver(a, p=1).prepare()
+        b = rng.normal(size=a.n)
+        _, rep1 = base.solve(b, check=False)
+        par = ParallelSparseSolver(a, p=8)
+        par.symbolic, par.factor = base.symbolic, base.factor
+        par.assign = subtree_to_subcube(base.symbolic.stree, 8)
+        _, rep8 = par.solve(b, check=False)
+        assert rep8.fbsolve_seconds < rep1.fbsolve_seconds / 2
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(
+            ReportOptions(
+                matrices=("grid2d-small",),
+                ps=(1, 4),
+                nrhs_list=(1, 10),
+                iso_ps=(64, 128, 256),
+                include_fig8=False,
+            )
+        )
+
+    def test_contains_sections(self, report):
+        for section in ("Figure 7", "Figure 5", "redistribution"):
+            assert section in report
+
+    def test_contains_measured_exponents(self, report):
+        assert "W ~ p^" in report
+
+    def test_residuals_reported_small(self, report):
+        assert "worst residual" in report
+        # the rendered residual is in scientific notation with e-1x
+        assert "e-1" in report
+
+    def test_redistribution_within_bound(self, report):
+        line = [l for l in report.splitlines() if l.startswith("  max")][0]
+        max_ratio = float(line.split("max")[1].split(",")[0])
+        assert max_ratio <= 0.9

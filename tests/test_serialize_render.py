@@ -1,0 +1,82 @@
+"""Factor persistence and tree rendering."""
+
+import numpy as np
+import pytest
+
+from repro.numeric.serialize import load_factor, save_factor
+from repro.numeric.supernodal import cholesky_supernodal
+from repro.numeric.trisolve import solve_supernodal
+from repro.symbolic.analyze import analyze
+from repro.symbolic.render import to_ascii, to_dot
+from repro.mapping.subtree_subcube import subtree_to_subcube
+from repro.sparse.generators import fe_mesh_2d
+
+
+class TestSerialization:
+    @pytest.fixture(scope="class")
+    def factored(self):
+        a = fe_mesh_2d(8, seed=4)
+        sym = analyze(a)
+        return a, sym, cholesky_supernodal(sym)
+
+    def test_roundtrip_structure(self, factored, tmp_path):
+        _, sym, f = factored
+        path = tmp_path / "factor.npz"
+        save_factor(f, path)
+        back = load_factor(path)
+        assert back.stree.nsuper == f.stree.nsuper
+        np.testing.assert_array_equal(back.stree.parent, f.stree.parent)
+        for a, b in zip(back.stree.supernodes, f.stree.supernodes):
+            np.testing.assert_array_equal(a.rows, b.rows)
+
+    def test_roundtrip_values(self, factored, tmp_path):
+        _, _, f = factored
+        path = tmp_path / "factor.npz"
+        save_factor(f, path)
+        back = load_factor(path)
+        np.testing.assert_allclose(back.to_dense(), f.to_dense())
+
+    def test_loaded_factor_solves(self, factored, tmp_path, rng):
+        a, sym, f = factored
+        path = tmp_path / "factor.npz"
+        save_factor(f, path)
+        back = load_factor(path)
+        b = rng.normal(size=a.n)
+        bp = sym.perm.apply_to_vector(b)
+        np.testing.assert_allclose(
+            solve_supernodal(back, bp), solve_supernodal(f, bp), atol=1e-14
+        )
+
+    def test_version_checked(self, factored, tmp_path):
+        _, _, f = factored
+        path = tmp_path / "factor.npz"
+        save_factor(f, path)
+        import numpy as np_
+
+        data = dict(np_.load(path))
+        data["version"] = np_.array([999])
+        np_.savez(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_factor(path)
+
+
+class TestRendering:
+    def test_dot_structure(self, sym_grid8):
+        dot = to_dot(sym_grid8.stree)
+        assert dot.startswith("digraph etree {")
+        assert dot.count("->") == sum(1 for p in sym_grid8.stree.parent if p >= 0)
+        assert f"n{sym_grid8.stree.nsuper - 1}" in dot
+
+    def test_dot_with_assignment(self, sym_grid8):
+        assign = subtree_to_subcube(sym_grid8.stree, 4)
+        dot = to_dot(sym_grid8.stree, assign=assign)
+        assert "P0-P3" in dot
+
+    def test_ascii_contains_all_roots(self, sym_grid8):
+        text = to_ascii(sym_grid8.stree)
+        for root in sym_grid8.stree.roots():
+            assert f"sn{root}:" in text
+
+    def test_ascii_truncation(self, sym_grid8):
+        text = to_ascii(sym_grid8.stree, max_nodes=3)
+        assert "more supernodes" in text

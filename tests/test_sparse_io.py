@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.sparse.generators import fe_mesh_2d
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+class TestRoundtrip:
+    def test_write_read_identity(self, tmp_path, fe9):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(fe9, path)
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), fe9.to_dense())
+
+    def test_header_written(self, tmp_path, grid8):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(grid8, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("%%MatrixMarket matrix coordinate real symmetric")
+
+
+class TestReader:
+    def test_pattern_matrix_becomes_spd(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 3\n"
+            "1 1\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        a = read_matrix_market(path)
+        eig = np.linalg.eigvalsh(a.to_dense())
+        assert eig.min() > 0
+
+    def test_rejects_non_mm_file(self, tmp_path):
+        path = tmp_path / "x.mtx"
+        path.write_text("not a matrix\n1 1 1\n")
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            read_matrix_market(path)
+
+    def test_rejects_general_symmetry(self, tmp_path):
+        path = tmp_path / "x.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n")
+        with pytest.raises(ValueError, match="symmetric"):
+            read_matrix_market(path)
+
+    def test_rejects_rectangular(self, tmp_path):
+        path = tmp_path / "x.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1.0\n")
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(path)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% a comment\n"
+            "% another\n"
+            "2 2 3\n"
+            "1 1 2.0\n"
+            "2 2 2.0\n"
+            "2 1 -1.0\n"
+        )
+        a = read_matrix_market(path)
+        np.testing.assert_allclose(a.to_dense(), [[2.0, -1.0], [-1.0, 2.0]])
+
+
+def test_roundtrip_preserves_solvability(tmp_path):
+    """A matrix written and re-read factors to the same solution."""
+    from repro.core.solver import ParallelSparseSolver
+
+    a = fe_mesh_2d(6, seed=9)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(a, path)
+    b = read_matrix_market(path)
+    rhs = np.ones(a.n)
+    xa, _ = ParallelSparseSolver(a, p=1).prepare().solve(rhs)
+    xb, _ = ParallelSparseSolver(b, p=1).prepare().solve(rhs)
+    np.testing.assert_allclose(xa, xb, atol=1e-10)

@@ -1,0 +1,197 @@
+"""SPMD process layer: semantics, timing, and a pipelined-solve port."""
+
+import numpy as np
+import pytest
+from scipy.linalg import solve_triangular
+
+from repro.machine.spec import MachineSpec
+from repro.machine.spmd import DeadlockError, run_spmd
+
+
+def spec(**kw):
+    defaults = dict(t_flop=1e-6, t_s=1e-5, t_w=1e-6, t_call=0.0, topology="full")
+    defaults.update(kw)
+    return MachineSpec(**defaults)
+
+
+class TestBasics:
+    def test_compute_advances_clock(self):
+        def prog(rank, env):
+            yield env.compute(seconds=2.0)
+
+        res = run_spmd(prog, 3, spec())
+        assert res.makespan == 2.0
+        assert res.busy == [2.0] * 3
+
+    def test_send_recv_data_and_delay(self):
+        s = spec()
+
+        def prog(rank, env):
+            if rank == 0:
+                yield env.compute(seconds=1.0)
+                yield env.send(1, data={"x": 42}, words=100)
+            else:
+                msg = yield env.recv(0)
+                assert msg == {"x": 42}
+                yield env.compute(seconds=0.5)
+
+        res = run_spmd(prog, 2, s)
+        assert res.makespan == pytest.approx(1.0 + s.message_time(100, 1) + 0.5)
+        assert res.message_count == 1
+        assert res.comm_volume_words == 100
+
+    def test_messages_fifo_per_channel(self):
+        def prog(rank, env):
+            if rank == 0:
+                yield env.send(1, data="first", words=1)
+                yield env.send(1, data="second", words=1)
+            else:
+                a = yield env.recv(0)
+                b = yield env.recv(0)
+                assert (a, b) == ("first", "second")
+
+        run_spmd(prog, 2, spec())
+
+    def test_tags_select_messages(self):
+        def prog(rank, env):
+            if rank == 0:
+                yield env.send(1, data="beta", words=1, tag=2)
+                yield env.send(1, data="alpha", words=1, tag=1)
+            else:
+                a = yield env.recv(0, tag=1)
+                b = yield env.recv(0, tag=2)
+                assert (a, b) == ("alpha", "beta")
+
+        run_spmd(prog, 2, spec())
+
+    def test_return_values_collected(self):
+        def prog(rank, env):
+            yield env.compute(seconds=0.1)
+            return rank * rank
+
+        res = run_spmd(prog, 4, spec())
+        assert res.returns == [0, 1, 4, 9]
+
+    def test_barrier_synchronises(self):
+        after = []
+
+        def prog(rank, env):
+            yield env.compute(seconds=float(rank))
+            yield env.barrier()
+            after.append(rank)
+
+        res = run_spmd(prog, 4, spec())
+        assert len(after) == 4
+        assert res.makespan >= 3.0
+
+    def test_deadlock_detected(self):
+        def prog(rank, env):
+            yield env.recv((rank + 1) % 2)  # both wait forever
+
+        with pytest.raises(DeadlockError, match="deadlock"):
+            run_spmd(prog, 2, spec())
+
+    def test_partial_deadlock_detected(self):
+        def prog(rank, env):
+            if rank == 0:
+                yield env.compute(seconds=1.0)
+            else:
+                yield env.recv(2)  # rank 2 never sends
+
+        with pytest.raises(DeadlockError):
+            run_spmd(prog, 3, spec())
+
+    def test_self_send_free(self):
+        def prog(rank, env):
+            yield env.send(rank, data=7, words=50)
+            v = yield env.recv(rank)
+            assert v == 7
+
+        res = run_spmd(prog, 1, spec())
+        assert res.makespan == 0.0
+        assert res.message_count == 0
+
+    def test_invalid_destination(self):
+        def prog(rank, env):
+            yield env.send(9, words=1)
+
+        with pytest.raises(ValueError):
+            run_spmd(prog, 2, spec())
+
+
+class TestRingPipeline:
+    def test_ring_latency(self):
+        """Token around a p-ring: makespan = p * (t_s + t_w*w)."""
+        s = spec()
+        size, words = 6, 10
+
+        def prog(rank, env):
+            if rank == 0:
+                yield env.send(1, data=0, words=words)
+                yield env.recv(size - 1)
+            else:
+                v = yield env.recv(rank - 1)
+                yield env.send((rank + 1) % size, data=v, words=words)
+
+        res = run_spmd(prog, size, s)
+        assert res.makespan == pytest.approx(size * s.message_time(words, 1))
+
+
+class TestSpmdPipelinedSolve:
+    """A rank-local port of the paper's column-priority pipelined forward
+    elimination (cyclic rows, b = 1), cross-validated against scipy and
+    against the task-graph implementation's timing model."""
+
+    @staticmethod
+    def make_program(l, b_rhs, size, out):
+        n = l.shape[0]
+
+        def prog(rank, env):
+            y = {i: b_rhs[i].copy() for i in range(rank, n, size)}
+            for j in range(n):
+                owner = j % size
+                if owner == rank:
+                    # updates to row j have already been applied locally
+                    xj = y[j] / l[j, j]
+                    out[j] = xj
+                    if size > 1:
+                        yield env.send((rank + 1) % size, data=(j, xj), words=1)
+                else:
+                    # solved piece arrives around the ring; forward it on
+                    # unless the next hop is the owner (full circle done)
+                    jj, xj = yield env.recv((rank - 1) % size)
+                    assert jj == j
+                    nxt = (rank + 1) % size
+                    if nxt != owner:
+                        yield env.send(nxt, data=(j, xj), words=1)
+                flops = 0
+                for i in y:
+                    if i > j:
+                        y[i] -= l[i, j] * xj
+                        flops += 2
+                yield env.compute(flops=flops)
+
+        return prog
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(5)
+        n, size = 24, 4
+        m = rng.normal(size=(n, n))
+        l = np.tril(m) + n * np.eye(n)
+        b = rng.normal(size=n)
+        out = np.zeros(n)
+        run_spmd(self.make_program(l, b, size, out), size, spec())
+        np.testing.assert_allclose(out, solve_triangular(l, b, lower=True), atol=1e-10)
+
+    def test_parallel_faster_than_serial(self):
+        rng = np.random.default_rng(6)
+        n = 32
+        m = rng.normal(size=(n, n))
+        l = np.tril(m) + n * np.eye(n)
+        b = rng.normal(size=n)
+        times = {}
+        for size in (1, 4):
+            out = np.zeros(n)
+            res = run_spmd(self.make_program(l, b, size, out), size, spec(t_s=1e-7, t_w=1e-8))
+            times[size] = res.makespan
+        assert times[4] < times[1]

@@ -1,0 +1,93 @@
+"""SPMD sparse backward solver vs the task-graph implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.backward import parallel_backward
+from repro.core.spmd_backward import spmd_backward
+from repro.core.spmd_forward import spmd_forward
+from repro.core.solver import ParallelSparseSolver
+from repro.machine.presets import cray_t3d
+from repro.mapping.subtree_subcube import subtree_to_subcube
+from repro.numeric.trisolve import backward_supernodal
+from repro.sparse.generators import fe_mesh_2d, grid2d_laplacian, grid3d_laplacian
+
+
+@pytest.fixture(scope="module")
+def setup():
+    a = grid2d_laplacian(11)
+    base = ParallelSparseSolver(a, p=1, spec=cray_t3d()).prepare()
+    rng = np.random.default_rng(19)
+    bp = base.symbolic.perm.apply_to_vector(rng.normal(size=(a.n, 2)))
+    return base, bp, backward_supernodal(base.factor, bp)
+
+
+class TestSpmdBackwardCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_matches_serial(self, setup, p):
+        base, bp, x_ref = setup
+        assign = subtree_to_subcube(base.symbolic.stree, p)
+        x, _ = spmd_backward(base.factor, assign, cray_t3d(), bp, b=4, nproc=p)
+        np.testing.assert_allclose(x, x_ref, atol=1e-12)
+
+    @pytest.mark.parametrize("b", [1, 3, 8, 32])
+    def test_block_size_invariant(self, setup, b):
+        base, bp, x_ref = setup
+        assign = subtree_to_subcube(base.symbolic.stree, 8)
+        x, _ = spmd_backward(base.factor, assign, cray_t3d(), bp, b=b, nproc=8)
+        np.testing.assert_allclose(x, x_ref, atol=1e-12)
+
+    def test_3d_matrix(self, rng):
+        a = grid3d_laplacian(5)
+        base = ParallelSparseSolver(a, p=1, spec=cray_t3d()).prepare()
+        bp = base.symbolic.perm.apply_to_vector(rng.normal(size=a.n))
+        x_ref = backward_supernodal(base.factor, bp)
+        assign = subtree_to_subcube(base.symbolic.stree, 8)
+        x, _ = spmd_backward(base.factor, assign, cray_t3d(), bp, nproc=8)
+        np.testing.assert_allclose(x, x_ref, atol=1e-12)
+
+    def test_vector_rhs_shape(self, setup):
+        base, bp, x_ref = setup
+        assign = subtree_to_subcube(base.symbolic.stree, 4)
+        x, _ = spmd_backward(base.factor, assign, cray_t3d(), bp[:, 0], nproc=4)
+        assert x.ndim == 1
+        np.testing.assert_allclose(x, x_ref[:, 0], atol=1e-12)
+
+
+class TestSpmdBackwardScaling:
+    def test_speedup(self):
+        a = fe_mesh_2d(24, seed=30)
+        base = ParallelSparseSolver(a, p=1, spec=cray_t3d()).prepare()
+        rng = np.random.default_rng(2)
+        bp = base.symbolic.perm.apply_to_vector(rng.normal(size=(a.n, 1)))
+        times = {}
+        for p in (1, 16):
+            assign = subtree_to_subcube(base.symbolic.stree, p)
+            _, res = spmd_backward(base.factor, assign, cray_t3d(), bp, nproc=p)
+            times[p] = res.makespan
+        assert times[16] < times[1] / 3
+
+    def test_same_ballpark_as_task_graph(self, setup):
+        base, bp, _ = setup
+        for p in (2, 8):
+            assign = subtree_to_subcube(base.symbolic.stree, p)
+            _, spmd_res = spmd_backward(base.factor, assign, cray_t3d(), bp, nproc=p)
+            _, tg_res = parallel_backward(base.factor, assign, cray_t3d(), bp, nproc=p)
+            ratio = spmd_res.makespan / tg_res.makespan
+            assert 0.3 < ratio < 3.0, f"p={p}: ratio {ratio}"
+
+
+class TestFullSpmdSolve:
+    def test_forward_then_backward_solves_system(self, rng):
+        """The complete SPMD pipeline solves A x = b end to end."""
+        from repro.sparse.ops import relative_residual
+
+        a = grid2d_laplacian(9)
+        base = ParallelSparseSolver(a, p=1, spec=cray_t3d()).prepare()
+        b = rng.normal(size=(a.n, 2))
+        bp = base.symbolic.perm.apply_to_vector(b)
+        assign = subtree_to_subcube(base.symbolic.stree, 8)
+        y, _ = spmd_forward(base.factor, assign, cray_t3d(), bp, nproc=8)
+        xp, _ = spmd_backward(base.factor, assign, cray_t3d(), y, nproc=8)
+        x = base.symbolic.perm.unapply_to_vector(xp)
+        assert relative_residual(a, x, b) < 1e-12

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.symbolic.analyze import analyze
+from repro.symbolic.stats import (
+    per_level_profile,
+    subtree_imbalance,
+    tree_stats,
+    work_per_processor,
+)
+from repro.mapping.subtree_subcube import subtree_to_subcube
+from repro.sparse.generators import fe_mesh_2d, grid2d_laplacian
+
+
+class TestTreeStats:
+    def test_counts_consistent(self, sym_grid8):
+        st = tree_stats(sym_grid8.stree)
+        assert st.nsuper == sym_grid8.stree.nsuper
+        assert 1 <= st.height <= st.nsuper
+        assert st.total_solve_flops == sym_grid8.stree.solve_flops()
+
+    def test_nd_tree_is_bushy(self):
+        a = grid2d_laplacian(16)
+        st = tree_stats(analyze(a).stree)
+        assert not st.is_chainlike
+        assert st.n_leaves > st.nsuper // 10
+
+    def test_rcm_tree_is_chainlike(self):
+        a = grid2d_laplacian(16)
+        st = tree_stats(analyze(a, method="rcm").stree)
+        # RCM gives long chains: far fewer leaves than nested dissection
+        nd = tree_stats(analyze(a).stree)
+        assert st.n_leaves < nd.n_leaves / 2
+
+    def test_top_separator_order_sqrt_n(self):
+        a = grid2d_laplacian(20)
+        st = tree_stats(analyze(a).stree)
+        assert st.top_separator_width <= 3 * 20  # alpha * sqrt(N), alpha small
+
+
+class TestWorkDistribution:
+    def test_work_totals_conserved(self, sym_grid8):
+        for p in (1, 4, 8):
+            assign = subtree_to_subcube(sym_grid8.stree, p)
+            work = work_per_processor(sym_grid8.stree, assign)
+            assert work.sum() == pytest.approx(float(sym_grid8.stree.solve_flops()))
+
+    def test_every_processor_gets_work(self):
+        a = fe_mesh_2d(20, seed=1)
+        stree = analyze(a).stree
+        assign = subtree_to_subcube(stree, 16)
+        work = work_per_processor(stree, assign)
+        assert work.min() > 0
+
+    def test_imbalance_reasonable(self):
+        a = fe_mesh_2d(24, seed=2)
+        stree = analyze(a).stree
+        assert subtree_imbalance(stree, 8) < 2.0
+
+    def test_paper_claim_imbalance_saturates(self):
+        """Section 3.1: imbalance overheads 'saturate at 3 to 4 processors
+        ... and do not continue to increase' — the imbalance factor at
+        p=32 should not be much worse than at p=4."""
+        a = fe_mesh_2d(32, seed=5)
+        stree = analyze(a).stree
+        i4 = subtree_imbalance(stree, 4)
+        i32 = subtree_imbalance(stree, 32)
+        assert i32 < i4 * 2.5
+
+    def test_p1_perfectly_balanced(self, sym_grid8):
+        assert subtree_imbalance(sym_grid8.stree, 1) == pytest.approx(1.0)
+
+
+class TestLevelProfile:
+    def test_profile_covers_all_supernodes(self, sym_grid8):
+        prof = per_level_profile(sym_grid8.stree)
+        assert sum(cnt for _, cnt, _ in prof) == sym_grid8.stree.nsuper
+
+    def test_level_zero_is_root(self, sym_grid8):
+        prof = dict((lvl, cnt) for lvl, cnt, _ in per_level_profile(sym_grid8.stree))
+        assert prof[0] == len(sym_grid8.stree.roots())
+
+    def test_flops_sum(self, sym_grid8):
+        prof = per_level_profile(sym_grid8.stree)
+        assert sum(fl for _, _, fl in prof) == sym_grid8.stree.solve_flops()

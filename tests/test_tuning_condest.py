@@ -1,0 +1,92 @@
+"""Block-size auto-tuning and condition estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import TuningResult, tune_block_size
+from repro.machine.presets import cray_t3d
+from repro.mapping.subtree_subcube import subtree_to_subcube
+from repro.numeric.condest import condest, inverse_norm_estimate, one_norm
+from repro.sparse.build import from_dense
+from repro.sparse.generators import grid2d_laplacian
+from repro.symbolic.analyze import analyze
+from repro.numeric.supernodal import cholesky_supernodal
+
+
+class TestTuning:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        a = grid2d_laplacian(16)
+        sym = analyze(a)
+        factor = cholesky_supernodal(sym)
+        assign = subtree_to_subcube(sym.stree, 16)
+        return factor, assign
+
+    def test_returns_fastest_candidate(self, setup):
+        factor, assign = setup
+        res = tune_block_size(factor, assign, cray_t3d(), candidates=(1, 8, 64), nproc=16)
+        assert res.best_b in (1, 8, 64)
+        assert res.timings[res.best_b] == min(res.timings.values())
+
+    def test_moderate_block_beats_extremes(self, setup):
+        factor, assign = setup
+        res = tune_block_size(
+            factor, assign, cray_t3d(), candidates=(1, 2, 4, 8, 16, 64), nproc=16
+        )
+        assert res.best_b not in (1, 64)
+
+    def test_improvement_metric(self, setup):
+        factor, assign = setup
+        res = tune_block_size(factor, assign, cray_t3d(), candidates=(1, 8), nproc=16)
+        assert res.improvement_over(1) >= 1.0
+        with pytest.raises(ValueError):
+            res.improvement_over(99)
+
+    def test_empty_candidates_rejected(self, setup):
+        factor, assign = setup
+        with pytest.raises(ValueError):
+            tune_block_size(factor, assign, cray_t3d(), candidates=(), nproc=16)
+
+    def test_latency_free_machine_prefers_small_blocks(self, setup):
+        """With t_s = 0 the startup penalty of b=1 disappears, so small
+        blocks (= max pipeline overlap) win or tie."""
+        factor, assign = setup
+        spec = cray_t3d().with_(t_s=0.0, t_call=0.0)
+        res = tune_block_size(factor, assign, spec, candidates=(1, 32), nproc=16)
+        assert res.best_b == 1
+
+
+class TestConditionEstimate:
+    def test_one_norm_exact(self):
+        a = from_dense(np.array([[2.0, -1.0], [-1.0, 3.0]]))
+        assert one_norm(a) == 4.0
+
+    def test_identity_condition_is_one(self):
+        a = from_dense(np.eye(6) * 2.0)
+        sym = analyze(a, method="natural")
+        f = cholesky_supernodal(sym)
+        assert condest(sym, f, a) == pytest.approx(1.0)
+
+    def test_estimate_close_to_true_condition(self, grid8):
+        sym = analyze(grid8)
+        f = cholesky_supernodal(sym)
+        est = condest(sym, f, grid8)
+        dense = grid8.to_dense()
+        true = np.linalg.norm(dense, 1) * np.linalg.norm(np.linalg.inv(dense), 1)
+        # Hager's estimator is a lower bound, rarely off by more than ~3x
+        assert true / 3 <= est <= true * 1.001
+
+    def test_ill_conditioned_detected(self):
+        d = np.diag([1.0, 1.0, 1e-8])
+        a = from_dense(d)
+        sym = analyze(a, method="natural")
+        f = cholesky_supernodal(sym)
+        assert condest(sym, f, a) > 1e7
+
+    def test_inverse_norm_lower_bound(self, grid8):
+        sym = analyze(grid8)
+        f = cholesky_supernodal(sym)
+        est = inverse_norm_estimate(sym, f)
+        true = np.linalg.norm(np.linalg.inv(grid8.to_dense()), 1)
+        assert est <= true * 1.001
+        assert est >= true / 3

@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.flops import cholesky_flops, gemm_flops, supernode_solve_flops, trsm_flops
+
+
+class TestTrsmFlops:
+    def test_single_rhs(self):
+        assert trsm_flops(4) == 16
+
+    def test_scales_linearly_with_rhs(self):
+        assert trsm_flops(4, 10) == 10 * trsm_flops(4)
+
+    def test_empty(self):
+        assert trsm_flops(0) == 0
+
+
+class TestGemmFlops:
+    def test_known_value(self):
+        assert gemm_flops(3, 5, 2) == 2 * 3 * 5 * 2
+
+    def test_degenerate(self):
+        assert gemm_flops(0, 5) == 0
+
+
+class TestCholeskyFlops:
+    def test_cubic_growth(self):
+        assert cholesky_flops(20) > 8 * cholesky_flops(10) * 0.8
+
+    def test_positive(self):
+        assert cholesky_flops(1) > 0
+
+
+class TestSupernodeSolveFlops:
+    def test_triangle_only(self):
+        # n == t: no rectangle, pure triangular solve
+        assert supernode_solve_flops(4, 4) == trsm_flops(4)
+
+    def test_decomposes(self):
+        n, t, m = 10, 4, 3
+        assert supernode_solve_flops(n, t, m) == trsm_flops(t, m) + gemm_flops(n - t, t, m)
+
+    def test_rejects_t_above_n(self):
+        with pytest.raises(ValueError):
+            supernode_solve_flops(3, 4)
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ValueError):
+            supernode_solve_flops(3, -1)
+
+
+@given(
+    n=st.integers(1, 200),
+    t=st.integers(1, 200),
+    m=st.integers(1, 40),
+)
+def test_solve_flops_match_dense_operation_count(n, t, m):
+    """Property: flop formula equals the count of the actual dense ops."""
+    if t > n:
+        t, n = n, t
+    # triangular solve on t x t with m rhs = t^2 m; gemm (n-t) x t x m = 2(n-t)tm
+    expected = t * t * m + 2 * (n - t) * t * m
+    assert supernode_solve_flops(n, t, m) == expected
+
+
+def test_flops_agree_with_numpy_shapes():
+    """The formulas describe ops that numpy actually performs; sanity check
+    with einsum path counting on a tiny instance."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(6, 4))
+    x = rng.normal(size=(4, 2))
+    assert gemm_flops(6, 4, 2) == 2 * a.shape[0] * a.shape[1] * x.shape[1]
