@@ -10,6 +10,9 @@ fig5       print the Figure 5 table and measured isoefficiency exponents
 schedules  print the Figure 3/4 pipelined step schedules
 report     run the full reproduction report (all experiments, compact)
 workloads  list the registered paper-matrix analogues
+verify     run the repo-wide static verification gate (source lint,
+           structural invariants, SPMD communication lint); same as
+           ``python -m repro.verify``
 """
 
 from __future__ import annotations
@@ -25,7 +28,25 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.sparse.generators import model_problem
 
     a = model_problem(args.matrix, args.size, seed=args.seed)
-    solver = ParallelSparseSolver(a, p=args.p, b=args.block, ordering=args.ordering).prepare()
+    solver = ParallelSparseSolver(
+        a, p=args.p, b=args.block, ordering=args.ordering, verify=not args.no_verify
+    ).prepare()
+    if args.verify_comm:
+        from repro.core.spmd_backward import make_backward_program
+        from repro.core.spmd_forward import make_forward_program
+        from repro.verify.comm import lint_spmd
+
+        rng = np.random.default_rng(args.seed)
+        probe = solver.symbolic.perm.apply_to_vector(rng.normal(size=(a.n, 1)))
+        prog, size, y = make_forward_program(
+            solver.factor, solver.assign, probe, b=args.block, nproc=args.p
+        )
+        lint_spmd(prog, size).raise_if_errors("forward SPMD communication lint")
+        prog, size, _ = make_backward_program(
+            solver.factor, solver.assign, y, b=args.block, nproc=args.p
+        )
+        lint_spmd(prog, size).raise_if_errors("backward SPMD communication lint")
+        print("SPMD communication lint: clean (forward + backward)")
     rng = np.random.default_rng(args.seed)
     b = rng.normal(size=(a.n, args.nrhs))
     _, rep = solver.solve(b, refine=args.refine)
@@ -110,6 +131,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.__main__ import main as verify_main
+
+    argv = ["--corpus", args.corpus]
+    if args.no_solvers:
+        argv.append("--no-solvers")
+    return verify_main(argv)
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.experiments.matrices import WORKLOADS
 
@@ -134,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--refine", type=int, default=0)
     s.add_argument("--ordering", default="nested_dissection")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--no-verify", action="store_true",
+                   help="skip the cheap structural invariant checks in prepare()")
+    s.add_argument("--verify-comm", action="store_true",
+                   help="statically lint the SPMD solver communication "
+                        "protocol for this instance before solving")
     s.set_defaults(func=_cmd_solve)
 
     s = sub.add_parser("fig7", help="Figure 7 table for a workload")
@@ -166,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("workloads", help="list registered workloads")
     s.set_defaults(func=_cmd_workloads)
+
+    s = sub.add_parser("verify", help="repo-wide static verification gate")
+    s.add_argument("--corpus", choices=["repo", "bad"], default="repo")
+    s.add_argument("--no-solvers", action="store_true",
+                   help="skip the SPMD solver communication-lint section")
+    s.set_defaults(func=_cmd_verify)
     return parser
 
 

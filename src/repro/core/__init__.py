@@ -25,8 +25,8 @@ from repro.core.parallel_factor import simulated_factor_time
 from repro.core.dense import dense_backward, dense_forward, dense_trisolve_time
 from repro.core.tuning import TuningResult, tune_block_size
 from repro.core.forward_2d import parallel_forward_2d
-from repro.core.spmd_forward import spmd_forward
-from repro.core.spmd_backward import spmd_backward
+from repro.core.spmd_forward import make_forward_program, spmd_forward
+from repro.core.spmd_backward import make_backward_program, spmd_backward
 
 __all__ = [
     "pram_forward_schedule",
@@ -46,6 +46,8 @@ __all__ = [
     "TuningResult",
     "tune_block_size",
     "parallel_forward_2d",
+    "make_forward_program",
     "spmd_forward",
+    "make_backward_program",
     "spmd_backward",
 ]

@@ -219,7 +219,7 @@ def _add_pipelined(
             label=f"sn{s}:DT{tau}",
             run=run_diag,
         )
-        assert prev is not None
+        assert prev is not None, "descending accumulator ring produced no predecessor"
         g.add_edge(prev, d_tid)  # ring ends at the owner; final hop is local
         ready_block[tau] = d_tid
         solved_by[col_lo + tlo : col_lo + thi] = d_tid

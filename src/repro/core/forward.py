@@ -306,7 +306,7 @@ def _register_producers(
     if ns == t:
         return []
     if procs.size == 1:
-        assert seq_tid is not None
+        assert seq_tid is not None, "sequential supernode must have a solve task"
         return [
             _Producer(
                 tid=seq_tid,
@@ -314,7 +314,7 @@ def _register_producers(
                 local_rows=np.arange(t, ns, dtype=np.int64),
             )
         ]
-    assert update_tids is not None
+    assert update_tids is not None, "shared supernode must have update tasks"
     blocks = SupernodeBlocks(n=ns, t=t, b=b, procs=procs)
     prods: list[_Producer] = []
     for k in range(blocks.n_tri_blocks, blocks.nblocks):

@@ -25,8 +25,6 @@ closed-form of :mod:`repro.core.factor_model` when
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.blocks import SupernodeBlocks
 from repro.machine.events import SimResult, TaskGraph, simulate
 from repro.machine.spec import MachineSpec

@@ -18,8 +18,12 @@ paper's experimental code does:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.verify.findings import Report
 
 from repro.core.backward import parallel_backward
 from repro.core.factor_model import parallel_factor_time, serial_factor_time
@@ -103,6 +107,12 @@ class ParallelSparseSolver:
     relax :
         Supernode amalgamation slack (see
         :func:`repro.symbolic.find_supernodes`).
+    verify :
+        When true (the default), :meth:`prepare` runs the cheap static
+        invariant checkers of :mod:`repro.verify` over the input matrix,
+        the symbolic factorization, and the subtree-to-subcube mapping,
+        raising :class:`repro.verify.VerificationError` before any
+        simulated run can consume a bad structure.
     """
 
     a: SymCSC
@@ -113,6 +123,7 @@ class ParallelSparseSolver:
     variant: str = "column"
     relax: int = 0
     factor_time_mode: str = "model"  # "model" (closed form) | "simulate"
+    verify: bool = True
 
     # Filled by prepare():
     symbolic: SymbolicFactor | None = None
@@ -125,11 +136,44 @@ class ParallelSparseSolver:
 
     # ------------------------------------------------------------------
     def prepare(self) -> "ParallelSparseSolver":
-        """Run ordering, symbolic analysis, numeric factorization, mapping."""
+        """Run ordering, symbolic analysis, numeric factorization, mapping.
+
+        With ``verify=True`` every structure produced here is passed
+        through the static invariant checkers before the solver accepts
+        it (CSC well-formedness, etree postorder, supernode chains,
+        subcube containment, block-cyclic layout conformance).
+        """
         self.symbolic = analyze(self.a, method=self.ordering, relax=self.relax)
         self.factor = cholesky_supernodal(self.symbolic)
         self.assign = subtree_to_subcube(self.symbolic.stree, self.p)
+        if self.verify:
+            self.verify_prepared().raise_if_errors(
+                "solver structural verification failed"
+            )
         return self
+
+    def verify_prepared(self) -> "Report":
+        """Run the static invariant checkers over the prepared structures.
+
+        Returns the :class:`repro.verify.Report`; callers that want
+        fail-fast semantics use ``.raise_if_errors()`` (which
+        :meth:`prepare` does when ``verify=True``).
+        """
+        from repro.verify.invariants import (
+            check_assignment,
+            check_block_cyclic_conformance,
+            check_csc,
+            check_symbolic,
+        )
+
+        sym, _, assign = self._require_prepared()
+        report = check_csc(self.a, name="A")
+        report.extend(check_symbolic(sym, name="symbolic"))
+        report.extend(check_assignment(sym.stree, assign, self.p, name="assign"))
+        report.extend(
+            check_block_cyclic_conformance(sym.stree, assign, self.b, name="layout")
+        )
+        return report
 
     def _require_prepared(self) -> tuple[SymbolicFactor, SupernodalFactor, list[ProcSet]]:
         require(

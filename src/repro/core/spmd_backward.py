@@ -19,11 +19,13 @@ Message protocol:
 
 from __future__ import annotations
 
+from typing import Generator
+
 import numpy as np
 
 from repro.core.blocks import SupernodeBlocks
 from repro.machine.spec import MachineSpec
-from repro.machine.spmd import Env, SpmdResult, run_spmd
+from repro.machine.spmd import Env, Program, SpmdResult, run_spmd
 from repro.mapping.subtree_subcube import ProcSet
 from repro.numeric.frontal import trsm_lower_t
 from repro.numeric.supernodal import SupernodalFactor
@@ -51,21 +53,25 @@ def _solver_rank_of_column(stree, assign, blocks) -> np.ndarray:
     return owner
 
 
-def spmd_backward(
+def make_backward_program(
     factor: SupernodalFactor,
     assign: list[ProcSet],
-    spec: MachineSpec,
     rhs: np.ndarray,
     *,
     b: int = 8,
     nproc: int | None = None,
-) -> tuple[np.ndarray, SpmdResult]:
-    """Solve ``L^T x = rhs`` with the SPMD formulation."""
+) -> tuple[Program, int, np.ndarray]:
+    """Build the backward-substitution rank program without running it.
+
+    Returns ``(program, size, out)``; *out* receives the solution when
+    the program is executed (by :func:`repro.machine.spmd.run_spmd` or by
+    the static communication linter's timing-free walk — the program is
+    idempotent, so linting then simulating is safe).
+    """
     stree = factor.stree
     n = stree.n
     rhs = np.ascontiguousarray(rhs, dtype=np.float64)
-    squeeze = rhs.ndim == 1
-    if squeeze:
+    if rhs.ndim == 1:
         rhs = rhs[:, None]
     require(rhs.shape[0] == n, "rhs row count mismatch")
     m = rhs.shape[1]
@@ -123,7 +129,7 @@ def spmd_backward(
                             )
         gathers[s] = plan
 
-    def program(rank: int, env: Env):
+    def program(rank: int, env: Env) -> Generator:
         for s in reversed(stree.topo_order()):
             sn = stree.supernodes[s]
             procs = assign[s]
@@ -231,5 +237,33 @@ def spmd_backward(
                     tag=_tag(s, cons_s, k),
                 )
 
+    return program, size, out
+
+
+def spmd_backward(
+    factor: SupernodalFactor,
+    assign: list[ProcSet],
+    spec: MachineSpec,
+    rhs: np.ndarray,
+    *,
+    b: int = 8,
+    nproc: int | None = None,
+    verify: bool = False,
+) -> tuple[np.ndarray, SpmdResult]:
+    """Solve ``L^T x = rhs`` with the SPMD formulation.
+
+    With ``verify=True`` the rank program is first walked through the
+    static communication linter; any guaranteed protocol defect raises
+    :class:`repro.verify.VerificationError` before a simulated second is
+    spent.
+    """
+    squeeze = np.asarray(rhs).ndim == 1
+    program, size, out = make_backward_program(factor, assign, rhs, b=b, nproc=nproc)
+    if verify:
+        from repro.verify.comm import lint_spmd
+
+        lint_spmd(program, size, spec).raise_if_errors(
+            "spmd_backward communication lint failed"
+        )
     result = run_spmd(program, size, spec)
     return (out[:, 0] if squeeze else out), result

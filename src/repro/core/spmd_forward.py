@@ -20,11 +20,13 @@ Message protocol (all tags are globally unique):
 
 from __future__ import annotations
 
+from typing import Generator
+
 import numpy as np
 
 from repro.core.blocks import SupernodeBlocks
 from repro.machine.spec import MachineSpec
-from repro.machine.spmd import Env, SpmdResult, run_spmd
+from repro.machine.spmd import Env, Program, SpmdResult, run_spmd
 from repro.mapping.subtree_subcube import ProcSet
 from repro.numeric.frontal import trsm_lower
 from repro.numeric.supernodal import SupernodalFactor
@@ -106,21 +108,27 @@ def _plan(factor: SupernodalFactor, assign: list[ProcSet], b: int):
     return blocks, feeds
 
 
-def spmd_forward(
+def make_forward_program(
     factor: SupernodalFactor,
     assign: list[ProcSet],
-    spec: MachineSpec,
     rhs: np.ndarray,
     *,
     b: int = 8,
     nproc: int | None = None,
-) -> tuple[np.ndarray, SpmdResult]:
-    """Solve ``L y = rhs`` with the SPMD formulation."""
+) -> tuple[Program, int, np.ndarray]:
+    """Build the forward-substitution rank program without running it.
+
+    Returns ``(program, size, out)`` where *out* is the ``(n, m)`` array
+    the program writes the solution into.  Factoring the program out of
+    :func:`spmd_forward` lets the static communication linter
+    (:func:`repro.verify.lint_spmd`) walk the *real* solver protocol —
+    the walk is idempotent, so the same program can then be executed on
+    the simulator.
+    """
     stree = factor.stree
     n = stree.n
     rhs = np.ascontiguousarray(rhs, dtype=np.float64)
-    squeeze = rhs.ndim == 1
-    if squeeze:
+    if rhs.ndim == 1:
         rhs = rhs[:, None]
     require(rhs.shape[0] == n, "rhs row count mismatch")
     m = rhs.shape[1]
@@ -128,7 +136,7 @@ def spmd_forward(
     blocks, feeds = _plan(factor, assign, b)
     out = np.zeros((n, m))
 
-    def program(rank: int, env: Env):
+    def program(rank: int, env: Env) -> Generator:
         # local storage: z arrays for supernodes this rank touches
         zmine: dict[int, np.ndarray] = {}
         for s in stree.topo_order():
@@ -232,5 +240,33 @@ def spmd_forward(
                 if flops:
                     yield env.compute(flops=flops, nrhs=m)
 
+    return program, size, out
+
+
+def spmd_forward(
+    factor: SupernodalFactor,
+    assign: list[ProcSet],
+    spec: MachineSpec,
+    rhs: np.ndarray,
+    *,
+    b: int = 8,
+    nproc: int | None = None,
+    verify: bool = False,
+) -> tuple[np.ndarray, SpmdResult]:
+    """Solve ``L y = rhs`` with the SPMD formulation.
+
+    With ``verify=True`` the rank program is first walked through the
+    static communication linter; any guaranteed protocol defect raises
+    :class:`repro.verify.VerificationError` before a simulated second is
+    spent.
+    """
+    squeeze = np.asarray(rhs).ndim == 1
+    program, size, out = make_forward_program(factor, assign, rhs, b=b, nproc=nproc)
+    if verify:
+        from repro.verify.comm import lint_spmd
+
+        lint_spmd(program, size, spec).raise_if_errors(
+            "spmd_forward communication lint failed"
+        )
     result = run_spmd(program, size, spec)
     return (out[:, 0] if squeeze else out), result

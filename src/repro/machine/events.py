@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.machine.spec import MachineSpec
 from repro.machine.topology import Topology, make_topology
@@ -38,7 +38,7 @@ class Task:
     tid: int
     proc: int
     cost: float
-    priority: tuple = ()
+    priority: tuple[Any, ...] = ()
     label: str = ""
     run: Callable[[], None] | None = None
 
@@ -63,7 +63,7 @@ class TaskGraph:
         proc: int,
         cost: float,
         *,
-        priority: tuple = (),
+        priority: tuple[Any, ...] = (),
         label: str = "",
         run: Callable[[], None] | None = None,
     ) -> int:

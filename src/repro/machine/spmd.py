@@ -139,7 +139,7 @@ def run_spmd(program: Program, size: int, spec: MachineSpec) -> SpmdResult:
         """Advance one rank until it blocks, yields time, or finishes."""
         nonlocal msg_count, volume
         gen = gens[rank]
-        assert gen is not None
+        assert gen is not None, "finished rank must not be stepped"
         try:
             action = gen.send(pending_value.pop(rank, None))
         except StopIteration as stop:

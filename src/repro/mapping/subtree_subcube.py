@@ -112,7 +112,7 @@ def subtree_to_subcube(stree: SupernodalTree, p: int) -> list[ProcSet]:
     while stack:
         s = stack.pop()
         procs = assign[s]
-        assert procs is not None
+        assert procs is not None, "supernode visited before its processor set was assigned"
         kids = stree.children[s]
         if not kids:
             continue

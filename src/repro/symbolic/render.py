@@ -12,7 +12,7 @@ from repro.mapping.subtree_subcube import ProcSet
 from repro.symbolic.stree import SupernodalTree
 
 
-def _node_label(stree: SupernodalTree, s: int, assign: "list[ProcSet] | None") -> str:
+def _node_label(stree: SupernodalTree, s: int, assign: list[ProcSet] | None) -> str:
     sn = stree.supernodes[s]
     cols = f"{sn.col_lo}" if sn.t == 1 else f"{sn.col_lo}..{sn.col_hi - 1}"
     label = f"sn{s}: cols {cols} (t={sn.t}, n={sn.n})"
@@ -25,7 +25,7 @@ def _node_label(stree: SupernodalTree, s: int, assign: "list[ProcSet] | None") -
 def to_dot(
     stree: SupernodalTree,
     *,
-    assign: "list[ProcSet] | None" = None,
+    assign: list[ProcSet] | None = None,
     graph_name: str = "etree",
 ) -> str:
     """Graphviz DOT source for the supernodal tree (root at top)."""
@@ -43,7 +43,7 @@ def to_dot(
 def to_ascii(
     stree: SupernodalTree,
     *,
-    assign: "list[ProcSet] | None" = None,
+    assign: list[ProcSet] | None = None,
     max_nodes: int = 200,
 ) -> str:
     """Indented ASCII rendering (roots first, children beneath)."""

@@ -58,7 +58,7 @@ def tree_stats(stree: SupernodalTree) -> TreeStats:
 
 
 def work_per_processor(
-    stree: SupernodalTree, assign: "list[ProcSet]", *, nrhs: int = 1
+    stree: SupernodalTree, assign: list[ProcSet], *, nrhs: int = 1
 ) -> np.ndarray:
     """Triangular-solve flops charged to each processor.
 

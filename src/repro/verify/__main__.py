@@ -1,0 +1,83 @@
+"""CLI for the verification gate: ``python -m repro.verify``.
+
+Exit codes: 0 — no ERROR findings; 1 — findings (including, by design,
+every run against the known-bad corpus); 2 — a known-bad case was *not*
+caught (checker regression).
+
+Examples
+--------
+``python -m repro.verify``
+    Full repo gate: source lint + structural invariants + SPMD solver
+    communication lint.
+``python -m repro.verify --corpus bad``
+    Run the seeded known-bad corpus; prints each detected defect with
+    its rule and location and exits non-zero.
+``python -m repro.verify --lint-only src/repro tests``
+    Only the AST lint, over explicit paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.verify.gate import (
+    format_gate_output,
+    run_bad_corpus,
+    run_gate,
+    run_source_lint,
+    severity_exit_code,
+)
+from repro.verify.lint import lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.verify", description="repo-wide static verification gate"
+    )
+    parser.add_argument(
+        "--corpus",
+        choices=["repo", "bad"],
+        default="repo",
+        help="'repo' (default): verify the clean repo; 'bad': run the "
+        "seeded known-bad corpus (must exit non-zero)",
+    )
+    parser.add_argument(
+        "--lint-only",
+        nargs="*",
+        metavar="PATH",
+        default=None,
+        help="run only the AST lint, over the given files/directories "
+        "(default: the installed package source)",
+    )
+    parser.add_argument(
+        "--no-solvers",
+        action="store_true",
+        help="skip the SPMD solver communication-lint section of the gate",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.lint_only is not None:
+        paths = [Path(p) for p in args.lint_only] or None
+        report = lint_paths(paths) if paths else run_source_lint()
+        print(format_gate_output(report, header="source lint"))
+        return severity_exit_code(report)
+    if args.corpus == "bad":
+        report = run_bad_corpus()
+        print(format_gate_output(report, header="known-bad corpus"))
+        if any(f.rule == "corpus-missed" for f in report):
+            return 2
+        # Findings are expected here: the corpus exists to be caught, so
+        # the only healthy outcome is a non-zero exit full of findings.
+        return 1
+    report = run_gate(include_solvers=not args.no_solvers)
+    print(format_gate_output(report, header="verification gate"))
+    return severity_exit_code(report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

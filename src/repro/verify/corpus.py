@@ -1,0 +1,231 @@
+"""Seeded corpus of known-bad inputs for the verification gate.
+
+Every case here is a miniature, deterministic reproduction of a real bug
+class in this codebase's domain — a deadlocking SPMD schedule, a
+non-postordered elimination tree, a malformed CSC matrix, a layout /
+supernode-partition mismatch, a forbidden source construct.  The gate
+(``python -m repro.verify --corpus bad``) runs each case through the
+matching checker and requires that (a) at least one ERROR finding is
+produced and (b) the expected rule fires — so the corpus doubles as an
+end-to-end self-test that the checkers still catch what they were built
+to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.machine.events import TaskGraph
+from repro.machine.spmd import Env
+from repro.mapping.subtree_subcube import ProcSet
+from repro.symbolic.supernodes import SupernodePartition
+from repro.verify.comm import lint_spmd, lint_task_graph
+from repro.verify.findings import Report
+from repro.verify.invariants import (
+    check_assignment,
+    check_block_cyclic_conformance,
+    check_csc_arrays,
+    check_postordered,
+    check_supernode_partition,
+)
+from repro.verify.lint import lint_source
+
+
+@dataclass(frozen=True)
+class BadCase:
+    """One known-bad input: run it, get a report that must contain errors."""
+
+    name: str
+    description: str
+    expect_rules: frozenset[str]
+    run: Callable[[], Report]
+
+
+# ------------------------------------------------------------ SPMD programs
+def _head_to_head(rank: int, env: Env) -> Generator:
+    """Both ranks receive before sending: the canonical deadlock cycle."""
+    other = 1 - rank
+    _ = yield env.recv(other, tag=7)
+    yield env.send(other, data=rank, words=1, tag=7)
+
+
+def _orphan_send(rank: int, env: Env) -> Generator:
+    """Rank 0 posts a message nobody ever receives."""
+    if rank == 0:
+        yield env.send(1, data="orphan", words=4, tag=3)
+    yield env.compute(seconds=0.0)
+
+
+def _tag_skew(rank: int, env: Env) -> Generator:
+    """Sender and receiver disagree on the tag: blocked recv + stale message."""
+    if rank == 0:
+        yield env.send(1, data=42, words=1, tag=1)
+    else:
+        _ = yield env.recv(0, tag=2)
+
+
+def _racy_channel(rank: int, env: Env) -> Generator:
+    """Two in-flight messages on one channel when the first recv matches."""
+    if rank == 0:
+        yield env.send(1, data="a", words=1, tag=5)
+        yield env.send(1, data="b", words=1, tag=5)
+        yield env.recv(1, tag=6)
+    else:
+        first = yield env.recv(0, tag=5)
+        _ = yield env.recv(0, tag=5)
+        yield env.send(0, data=first, words=1, tag=6)
+
+
+def _barrier_skip(rank: int, env: Env) -> Generator:
+    """Rank 1 exits before the barrier rank 0 waits at."""
+    if rank == 0:
+        yield env.barrier()
+    else:
+        yield env.compute(seconds=0.0)
+
+
+# ------------------------------------------------------- structural inputs
+def _bad_csc() -> Report:
+    # Decreasing indptr, an out-of-range row, and a column led by a
+    # non-diagonal entry — three distinct malformations in one matrix.
+    indptr = np.array([0, 2, 1, 4])
+    indices = np.array([0, 2, 1, 9])
+    return check_csc_arrays(3, indptr, indices, name="bad-csc")
+
+
+def _bad_etree() -> Report:
+    # Valid etree (parents above children) whose subtrees interleave:
+    # node 0 hangs under 2 while node 1 hangs under 3, so the subtree of
+    # 2 is {0, 2} — not a contiguous column range.
+    parent = np.array([2, 3, 3, -1])
+    return check_postordered(parent, name="bad-etree")
+
+
+def _bad_partition() -> Report:
+    # Supernode {0,1,2} claims a chain but parent[1] jumps to node 4.
+    parent = np.array([1, 4, 3, 4, -1])
+    partition = SupernodePartition(np.array([0, 3, 5]))
+    return check_supernode_partition(partition, parent, n=5, name="bad-partition")
+
+
+def _bad_mapping() -> Report:
+    from repro.sparse.generators import grid2d_laplacian
+    from repro.symbolic.analyze import analyze
+
+    sym = analyze(grid2d_laplacian(4))
+    stree = sym.stree
+    # Child subcubes escape their parents' and the 2-processor machine:
+    # every supernode pinned to a different, non-nested range.
+    assign = [ProcSet(s % 3, 2) for s in range(stree.nsuper)]
+    report = check_assignment(stree, assign, 2, name="bad-mapping")
+    report.extend(check_block_cyclic_conformance(stree, assign, b=2, name="bad-mapping"))
+    return report
+
+
+def _cyclic_graph() -> Report:
+    g = TaskGraph(nproc=2)
+    a = g.add_task(0, 1.0, label="a")
+    b = g.add_task(1, 1.0, label="b")
+    c = g.add_task(0, 1.0, label="c")
+    g.add_edge(a, b)
+    g.add_edge(b, c)
+    g.add_edge(c, a)  # cycle: the simulator would stall at runtime
+    return lint_task_graph(g)
+
+
+_BAD_SOURCE = '''\
+import numpy as np
+import os
+
+def scramble(a):
+    rng = np.random.default_rng()
+    a.indices[0] = 3
+    a.indptr.sort()
+    assert a.n > 0
+    return np.random.rand(a.n)
+'''
+
+
+def _bad_source() -> Report:
+    return lint_source(_BAD_SOURCE, "corpus/bad_source.py")
+
+
+def known_bad_cases() -> list[BadCase]:
+    """The full seeded corpus, in gate execution order."""
+    return [
+        BadCase(
+            "spmd-head-to-head",
+            "two ranks each blocked on a receive from the other",
+            frozenset({"spmd-deadlock-cycle"}),
+            lambda: lint_spmd(_head_to_head, 2),
+        ),
+        BadCase(
+            "spmd-orphan-send",
+            "a message sent but never received",
+            frozenset({"spmd-unmatched-send"}),
+            lambda: lint_spmd(_orphan_send, 2),
+        ),
+        BadCase(
+            "spmd-tag-skew",
+            "sender and receiver disagree on the message tag",
+            frozenset({"spmd-tag-mismatch", "spmd-unmatched-recv"}),
+            lambda: lint_spmd(_tag_skew, 2),
+        ),
+        BadCase(
+            "spmd-barrier-skip",
+            "a rank terminates without reaching the barrier others wait at",
+            frozenset({"spmd-barrier-mismatch"}),
+            lambda: lint_spmd(_barrier_skip, 2),
+        ),
+        BadCase(
+            "malformed-csc",
+            "decreasing indptr, out-of-range index, non-diagonal-first column",
+            frozenset({"csc-indptr-monotone"}),
+            _bad_csc,
+        ),
+        BadCase(
+            "non-postordered-etree",
+            "valid elimination tree whose subtrees are not contiguous",
+            frozenset({"etree-not-postordered"}),
+            _bad_etree,
+        ),
+        BadCase(
+            "broken-supernode-chain",
+            "supernode partition that is not an elimination-tree chain",
+            frozenset({"supernode-chain"}),
+            _bad_partition,
+        ),
+        BadCase(
+            "layout-supernode-mismatch",
+            "processor sets that violate subcube containment and the machine size",
+            frozenset({"mapping-subcube-containment", "mapping-proc-range"}),
+            _bad_mapping,
+        ),
+        BadCase(
+            "task-graph-cycle",
+            "cyclic task dependencies that would stall the event simulator",
+            frozenset({"graph-cycle"}),
+            _cyclic_graph,
+        ),
+        BadCase(
+            "forbidden-source-constructs",
+            "unseeded RNG, CSC index mutation, and a bare assert in one file",
+            frozenset(
+                {"lint-unseeded-random", "lint-csc-mutation", "lint-bare-assert"}
+            ),
+            _bad_source,
+        ),
+    ]
+
+
+def racy_program_case() -> BadCase:
+    """A warning-level case (receive race): flagged, but not gate-fatal."""
+    return BadCase(
+        "spmd-recv-race",
+        "two in-flight messages on one channel at match time",
+        frozenset({"spmd-recv-race"}),
+        lambda: lint_spmd(_racy_channel, 2),
+    )
