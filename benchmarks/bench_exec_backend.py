@@ -1,0 +1,256 @@
+"""Measured-performance harness for the real execution backends.
+
+Times forward+backward triangular solves over generated 2-D/3-D grid
+problems for NRHS in {1, 4, 16} on three backends:
+
+* ``serial``  — the reference supernodal solvers in ``repro.numeric.trisolve``;
+* ``threads`` — the level-scheduled shared-memory engine in ``repro.exec``,
+  at each requested worker count (plan cache warmed first, as in steady
+  state);
+* ``scipy``   — ``scipy.sparse.linalg.spsolve_triangular`` on the scattered
+  CSR factor, as an external baseline.
+
+Every backend's solution is cross-checked against the serial one before
+its timing is accepted, so a fast-but-wrong backend can never produce a
+flattering number.  Results are written machine-readable to
+``BENCH_exec.json`` at the repo root — the start of the repo's perf
+trajectory; CI runs ``--quick`` and uploads the file as an artifact.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_exec_backend.py [--quick] [--out PATH]
+
+(The script falls back to inserting ``src/`` on ``sys.path`` itself, and
+pins BLAS to one thread so backend comparisons measure scheduling, not
+BLAS-internal parallelism.)
+"""
+
+# BLAS must be pinned before numpy loads: the comparison is between task
+# schedules, not between BLAS thread pools.
+import os
+
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+if "repro" not in sys.modules:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np
+
+SCHEMA = "repro-bench-exec/1"
+REQUIRED_KEYS = {"backend", "n", "nrhs", "workers", "seconds", "mflops"}
+DEFAULT_OUT = ROOT / "BENCH_exec.json"
+
+FULL_PROBLEMS = [("grid2d", 32), ("grid2d", 48), ("grid3d", 8), ("grid3d", 10)]
+QUICK_PROBLEMS = [("grid2d", 16), ("grid3d", 5)]
+NRHS_LIST = (1, 4, 16)
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Min wall-clock over *repeats* calls, after one untimed warm-up."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _build_problem(kind: str, size: int):
+    from repro.numeric.supernodal import cholesky_supernodal
+    from repro.sparse.generators import grid2d_laplacian, grid3d_laplacian
+    from repro.symbolic.analyze import analyze
+
+    a = grid2d_laplacian(size) if kind == "grid2d" else grid3d_laplacian(size)
+    sym = analyze(a)
+    factor = cholesky_supernodal(sym)
+    return a, sym, factor
+
+
+def bench_problem(kind: str, size: int, *, workers_list, repeats: int, tol: float = 1e-9):
+    """All backend timings for one problem; yields result records."""
+    from repro.exec import clear_exec_caches, plan_for, solve_exec
+    from repro.numeric.trisolve import backward_supernodal, forward_supernodal
+    from scipy.sparse.linalg import spsolve_triangular
+
+    a, sym, factor = _build_problem(kind, size)
+    clear_exec_caches()
+    plan = plan_for(sym.stree)
+    lower = factor.to_lower_csc(sym.l_indptr, sym.l_indices).to_scipy().tocsr()
+    upper = lower.T.tocsr()
+    label = f"{kind}({size})"
+    stats = plan.stats()
+
+    for nrhs in NRHS_LIST:
+        rng = np.random.default_rng(2026)
+        b = rng.normal(size=(a.n, nrhs))
+        x_ref = backward_supernodal(factor, forward_supernodal(factor, b))
+        flops = 2 * sym.stree.solve_flops(nrhs)
+
+        def record(backend: str, workers: int, seconds: float, x: np.ndarray) -> dict:
+            err = float(np.max(np.abs(x - x_ref)))
+            if err > tol:
+                raise AssertionError(
+                    f"{label} nrhs={nrhs}: backend {backend} deviates from the "
+                    f"serial reference by {err:.2e} — refusing to record its timing"
+                )
+            return {
+                "matrix": label,
+                "backend": backend,
+                "n": int(a.n),
+                "nrhs": int(nrhs),
+                "workers": int(workers),
+                "seconds": float(seconds),
+                "mflops": float(flops / seconds / 1e6) if seconds > 0 else 0.0,
+                "ntasks": int(stats["ntasks"]),
+                "nlevels": int(stats["nlevels"]),
+            }
+
+        yield record(
+            "serial",
+            1,
+            _best_of(lambda: backward_supernodal(factor, forward_supernodal(factor, b)),
+                     repeats),
+            x_ref,
+        )
+        for w in workers_list:
+            yield record(
+                "threads",
+                w,
+                _best_of(lambda: solve_exec(factor, b, workers=w, plan=plan), repeats),
+                solve_exec(factor, b, workers=w, plan=plan),
+            )
+        yield record(
+            "scipy",
+            1,
+            _best_of(
+                lambda: spsolve_triangular(
+                    upper, spsolve_triangular(lower, b, lower=True), lower=False
+                ),
+                repeats,
+            ),
+            spsolve_triangular(upper, spsolve_triangular(lower, b, lower=True), lower=False),
+        )
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Schema check for BENCH_exec.json; returns a list of problems."""
+    errors: list[str] = []
+    if payload.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {payload.get('schema')!r}")
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        return errors + ["results must be a non-empty list"]
+    for i, rec in enumerate(results):
+        missing = REQUIRED_KEYS - set(rec)
+        if missing:
+            errors.append(f"results[{i}] missing keys {sorted(missing)}")
+            continue
+        if rec["backend"] not in ("serial", "threads", "scipy"):
+            errors.append(f"results[{i}] unknown backend {rec['backend']!r}")
+        for key in ("n", "nrhs", "workers"):
+            if not isinstance(rec[key], int) or rec[key] < 1:
+                errors.append(f"results[{i}].{key} must be a positive int")
+        for key in ("seconds", "mflops"):
+            if not isinstance(rec[key], (int, float)) or rec[key] <= 0:
+                errors.append(f"results[{i}].{key} must be a positive number")
+    return errors
+
+
+def render_table(results: list[dict]) -> str:
+    lines = [
+        f"{'matrix':<12} {'nrhs':>4} {'backend':<8} {'workers':>7} "
+        f"{'ms':>10} {'MFLOPS':>9}"
+    ]
+    for rec in results:
+        lines.append(
+            f"{rec['matrix']:<12} {rec['nrhs']:>4} {rec['backend']:<8} "
+            f"{rec['workers']:>7} {rec['seconds'] * 1e3:>10.3f} {rec['mflops']:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_speedups(results: list[dict]) -> str:
+    """Threads-vs-serial speedup per (matrix, nrhs), best worker count."""
+    serial = {(r["matrix"], r["nrhs"]): r["seconds"]
+              for r in results if r["backend"] == "serial"}
+    lines = []
+    best: dict[tuple, dict] = {}
+    for r in results:
+        if r["backend"] != "threads":
+            continue
+        key = (r["matrix"], r["nrhs"])
+        if key not in best or r["seconds"] < best[key]["seconds"]:
+            best[key] = r
+    for (matrix, nrhs), r in sorted(best.items()):
+        speedup = serial[(matrix, nrhs)] / r["seconds"]
+        lines.append(
+            f"{matrix:<12} nrhs={nrhs:<3} threads(w={r['workers']}) vs serial: "
+            f"{speedup:5.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small problems, fewer repeats (CI smoke)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--workers", type=int, nargs="+", default=None,
+                        help="thread counts to benchmark (default 1 2 4; "
+                             "quick: 2)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per configuration (best-of)")
+    args = parser.parse_args(argv)
+
+    problems = QUICK_PROBLEMS if args.quick else FULL_PROBLEMS
+    workers_list = args.workers or ([2] if args.quick else [1, 2, 4])
+    repeats = args.repeats or (2 if args.quick else 5)
+
+    results: list[dict] = []
+    for kind, size in problems:
+        t0 = time.perf_counter()
+        for rec in bench_problem(kind, size, workers_list=workers_list, repeats=repeats):
+            results.append(rec)
+        print(f"{kind}({size}) done in {time.perf_counter() - t0:.1f}s", file=sys.stderr)
+
+    payload = {
+        "schema": SCHEMA,
+        "meta": {
+            "quick": bool(args.quick),
+            "repeats": repeats,
+            "cpu_count": os.cpu_count(),
+            "blas_threads": os.environ.get("OPENBLAS_NUM_THREADS"),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+    errors = validate_payload(payload)
+    if errors:
+        for e in errors:
+            print(f"schema error: {e}", file=sys.stderr)
+        return 1
+
+    args.out.write_text(json.dumps(payload, indent=1) + "\n")
+    print(render_table(results))
+    print()
+    print(summarize_speedups(results))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -49,18 +49,30 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print("SPMD communication lint: clean (forward + backward)")
     rng = np.random.default_rng(args.seed)
     b = rng.normal(size=(a.n, args.nrhs))
-    _, rep = solver.solve(b, refine=args.refine)
+    _, rep = solver.solve(
+        b, refine=args.refine, backend=args.backend, workers=args.workers
+    )
     print(f"matrix {args.matrix}(size={args.size}): N={a.n}, nnz={a.nnz}, "
           f"factor nnz={solver.symbolic.factor_nnz}")
-    print(f"p={rep.p} nrhs={rep.nrhs}")
+    if rep.backend == "sim":
+        kind = "simulated"
+        print(f"p={rep.p} nrhs={rep.nrhs} backend=sim")
+    else:
+        kind = "wall-clock"
+        from repro.exec import plan_for, resolve_workers
+
+        nw = resolve_workers(rep.workers) if rep.backend == "threads" else 1
+        stats = plan_for(solver.symbolic.stree).stats()
+        print(f"nrhs={rep.nrhs} backend={rep.backend} workers={nw} "
+              f"tasks={stats['ntasks']} levels={stats['nlevels']}")
     print(f"  factorization : {rep.factor_seconds * 1e3:10.3f} ms  "
-          f"({rep.factor_mflops:8.1f} MFLOPS)")
+          f"({rep.factor_mflops:8.1f} MFLOPS, simulated)")
     print(f"  redistribute  : {rep.redistribute_seconds * 1e3:10.3f} ms  "
-          f"({rep.redistribution_ratio:.2f}x FBsolve)")
-    print(f"  forward       : {rep.forward.seconds * 1e3:10.3f} ms")
-    print(f"  backward      : {rep.backward.seconds * 1e3:10.3f} ms")
+          f"({rep.redistribution_ratio:.2f}x FBsolve, simulated)")
+    print(f"  forward       : {rep.forward.seconds * 1e3:10.3f} ms  ({kind})")
+    print(f"  backward      : {rep.backward.seconds * 1e3:10.3f} ms  ({kind})")
     print(f"  FBsolve       : {rep.fbsolve_seconds * 1e3:10.3f} ms  "
-          f"({rep.fbsolve_mflops:8.1f} MFLOPS)")
+          f"({rep.fbsolve_mflops:8.1f} MFLOPS, {kind})")
     print(f"  residual      : {rep.residual:.2e}")
     return 0
 
@@ -164,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--refine", type=int, default=0)
     s.add_argument("--ordering", default="nested_dissection")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--backend", default="sim", choices=["sim", "serial", "threads"],
+                   help="triangular-solve execution: 'sim' walks the SPMD "
+                        "solvers through the machine simulator; 'serial' and "
+                        "'threads' run them for real and report wall-clock")
+    s.add_argument("--workers", type=int, default=None,
+                   help="thread count for --backend threads (default: one "
+                        "per core, capped)")
     s.add_argument("--no-verify", action="store_true",
                    help="skip the cheap structural invariant checks in prepare()")
     s.add_argument("--verify-comm", action="store_true",

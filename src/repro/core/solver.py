@@ -54,7 +54,12 @@ class TrisolveRun:
 
 @dataclass
 class SolveReport:
-    """Everything the paper's Figure 7 reports for one (matrix, p, NRHS)."""
+    """Everything the paper's Figure 7 reports for one (matrix, p, NRHS).
+
+    ``backend`` records where the triangular-solve seconds came from:
+    ``"sim"`` (simulated machine makespans, the default), or the real
+    wall-clock backends ``"serial"`` / ``"threads"`` of :mod:`repro.exec`.
+    """
 
     n: int
     p: int
@@ -65,6 +70,8 @@ class SolveReport:
     forward: TrisolveRun
     backward: TrisolveRun
     residual: float | None = None
+    backend: str = "sim"
+    workers: int | None = None
 
     @property
     def fbsolve_seconds(self) -> float:
@@ -219,17 +226,43 @@ class ParallelSparseSolver:
 
     # ------------------------------------------------------------------
     def solve(
-        self, bvec: np.ndarray, *, check: bool = True, refine: int = 0
+        self,
+        bvec: np.ndarray,
+        *,
+        check: bool = True,
+        refine: int = 0,
+        backend: str = "sim",
+        workers: int | None = None,
     ) -> tuple[np.ndarray, SolveReport]:
-        """Solve ``A x = b`` and report per-phase simulated times.
+        """Solve ``A x = b`` and report per-phase times.
 
         *bvec* may be a vector or an ``(n, nrhs)`` block.  The returned
         solution is in the original (pre-permutation) ordering.
         ``refine`` adds that many steps of iterative refinement
         (``x += A^{-1}(b - A x)``); each step re-runs both triangular
-        solves, and their simulated time is accumulated in the report.
+        solves, and their time is accumulated in the report.
+
+        ``backend`` selects how the triangular solves run and what their
+        reported seconds mean:
+
+        * ``"sim"`` (default) — the paper's SPMD solvers walked through
+          the machine simulator; seconds are simulated makespans.
+        * ``"serial"`` — the serial supernodal solvers of
+          :mod:`repro.numeric.trisolve`; seconds are measured wall-clock.
+        * ``"threads"`` — the shared-memory engine of :mod:`repro.exec`
+          with ``workers`` threads (default: one per core, capped);
+          seconds are measured wall-clock.  Results are bitwise
+          reproducible across worker counts.
+
+        Factorization and redistribution seconds always come from the
+        machine model — only the repo's real hot path (the solves) is
+        measured for now.
         """
         sym, factor, assign = self._require_prepared()
+        require(backend in ("sim", "serial", "threads"),
+                f"backend must be 'sim', 'serial' or 'threads', got {backend!r}")
+        require(workers is None or backend == "threads",
+                "workers is only meaningful with backend='threads'")
         bvec = np.asarray(bvec, dtype=np.float64)
         squeeze = bvec.ndim == 1
         bmat = bvec[:, None] if squeeze else bvec
@@ -238,12 +271,14 @@ class ParallelSparseSolver:
         require(refine >= 0, "refine must be >= 0")
         nrhs = bmat.shape[1]
 
-        x, fwd_seconds, bwd_seconds, fwd_sim, bwd_sim = self._one_solve(bmat)
+        x, fwd_seconds, bwd_seconds, fwd_sim, bwd_sim = self._one_solve(
+            bmat, backend, workers
+        )
         for _ in range(refine):
             from repro.sparse.ops import matvec
 
             residual = bmat - matvec(self.a, x)
-            dx, fs, bs, _, _ = self._one_solve(residual)
+            dx, fs, bs, _, _ = self._one_solve(residual, backend, workers)
             x = x + dx
             fwd_seconds += fs
             bwd_seconds += bs
@@ -258,6 +293,8 @@ class ParallelSparseSolver:
             redistribute_seconds=self.redistribution_seconds(),
             forward=TrisolveRun(seconds=fwd_seconds, flops=solve_flops, sim=fwd_sim),
             backward=TrisolveRun(seconds=bwd_seconds, flops=solve_flops, sim=bwd_sim),
+            backend=backend,
+            workers=workers,
         )
         if check:
             from repro.sparse.ops import relative_residual
@@ -266,16 +303,40 @@ class ParallelSparseSolver:
         return (x[:, 0] if squeeze else x), report
 
     def _one_solve(
-        self, bmat: np.ndarray
-    ) -> tuple[np.ndarray, float, float, SimResult, SimResult]:
+        self, bmat: np.ndarray, backend: str = "sim", workers: int | None = None
+    ) -> tuple[np.ndarray, float, float, SimResult | None, SimResult | None]:
         """One forward+backward pass; returns x (original order) and times."""
         sym, factor, assign = self._require_prepared()
         b_perm = sym.perm.apply_to_vector(bmat)
-        y, fwd_sim = parallel_forward(
-            factor, assign, self.spec, b_perm, b=self.b, variant=self.variant, nproc=self.p
-        )
-        x_perm, bwd_sim = parallel_backward(
-            factor, assign, self.spec, y, b=self.b, nproc=self.p
-        )
+        if backend == "sim":
+            y, fwd_sim = parallel_forward(
+                factor, assign, self.spec, b_perm, b=self.b, variant=self.variant,
+                nproc=self.p,
+            )
+            x_perm, bwd_sim = parallel_backward(
+                factor, assign, self.spec, y, b=self.b, nproc=self.p
+            )
+            x = sym.perm.unapply_to_vector(x_perm)
+            return x, fwd_sim.makespan, bwd_sim.makespan, fwd_sim, bwd_sim
+
+        from time import perf_counter
+
+        if backend == "serial":
+            from repro.numeric.trisolve import backward_supernodal, forward_supernodal
+
+            t0 = perf_counter()
+            y = forward_supernodal(factor, b_perm)
+            t1 = perf_counter()
+            x_perm = backward_supernodal(factor, y)
+            t2 = perf_counter()
+        else:  # threads
+            from repro.exec import backward_exec, forward_exec, plan_for
+
+            plan = plan_for(sym.stree)  # cached across repeated solves
+            t0 = perf_counter()
+            y = forward_exec(factor, b_perm, workers=workers, plan=plan)
+            t1 = perf_counter()
+            x_perm = backward_exec(factor, y, workers=workers, plan=plan)
+            t2 = perf_counter()
         x = sym.perm.unapply_to_vector(x_perm)
-        return x, fwd_sim.makespan, bwd_sim.makespan, fwd_sim, bwd_sim
+        return x, t1 - t0, t2 - t1, None, None

@@ -1,0 +1,53 @@
+"""Real shared-memory execution backends for the triangular solves.
+
+The :mod:`repro.machine` layer *simulates* the paper's message-passing
+solvers to reproduce its timing figures; this package *executes* the
+solves on the host for real, with a level-scheduled thread pool over the
+supernodal tree.  The two layers are deliberately separate: simulated
+seconds validate the paper's model, measured seconds feed the repo's
+perf trajectory (``BENCH_exec.json``).
+
+Public surface:
+
+* :func:`forward_exec` / :func:`backward_exec` / :func:`solve_exec` —
+  the engine entry points (vector or ``(n, nrhs)`` blocks).
+* :func:`build_plan` / :func:`plan_for` — explicit or cached
+  :class:`ExecPlan` construction.
+* :func:`prepare_factor`, :func:`clear_exec_caches`,
+  :func:`exec_cache_stats` — value preparation and cache control.
+"""
+
+from repro.exec.cache import (
+    PreparedFactor,
+    clear_exec_caches,
+    exec_cache_stats,
+    plan_for,
+    prepare_factor,
+)
+from repro.exec.engine import (
+    MAX_DEFAULT_WORKERS,
+    backward_exec,
+    forward_exec,
+    resolve_workers,
+    solve_exec,
+)
+from repro.exec.plan import DEFAULT_GRAIN, ExecPlan, ExecTask, NodeStep, build_plan, check_plan
+
+__all__ = [
+    "DEFAULT_GRAIN",
+    "MAX_DEFAULT_WORKERS",
+    "ExecPlan",
+    "ExecTask",
+    "NodeStep",
+    "PreparedFactor",
+    "backward_exec",
+    "build_plan",
+    "check_plan",
+    "clear_exec_caches",
+    "exec_cache_stats",
+    "forward_exec",
+    "plan_for",
+    "prepare_factor",
+    "resolve_workers",
+    "solve_exec",
+]

@@ -1,0 +1,148 @@
+"""Per-structure plan cache and per-factor value preparation.
+
+Repeated solves against the same factorization are the common case (multi
+right-hand-side workloads, iterative refinement, time stepping), so the
+engine never rebuilds what it can reuse:
+
+* :func:`plan_for` caches one :class:`~repro.exec.plan.ExecPlan` per
+  ``(symbolic structure, grain)``.  The key is the identity of the
+  :class:`~repro.symbolic.stree.SupernodalTree` — the object every
+  :class:`~repro.symbolic.analyze.SymbolicFactor` and
+  :class:`~repro.numeric.supernodal.SupernodalFactor` share — and entries
+  are evicted automatically when the structure is garbage collected.
+* :func:`prepare_factor` caches a :class:`PreparedFactor` per numeric
+  factor: contiguous diagonal/rectangle views of each trapezoid plus a
+  one-time singularity screen, so a zero or non-finite diagonal raises a
+  clean :class:`ValueError` *before* any task is dispatched (never a
+  wrong answer or a hung pool).
+
+Both caches are thread-safe and observable (:func:`exec_cache_stats`),
+and :func:`clear_exec_caches` resets them (tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exec.plan import DEFAULT_GRAIN, ExecPlan, build_plan
+from repro.numeric.supernodal import SupernodalFactor
+from repro.symbolic.stree import SupernodalTree
+
+
+class _IdentityCache:
+    """A dict keyed by object identity with weakref-driven eviction."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, tuple[weakref.ref, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, anchor: object, key: tuple):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0]() is anchor:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+            return None
+
+    def store(self, anchor: object, key: tuple, value: object) -> None:
+        with self._lock:
+            self._entries[key] = (weakref.ref(anchor), value)
+        weakref.finalize(anchor, self._evict, key)
+
+    def _evict(self, key: tuple) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_PLANS = _IdentityCache("plans")
+_PREPARED = _IdentityCache("prepared")
+
+
+def plan_for(stree: SupernodalTree, *, grain: int = DEFAULT_GRAIN) -> ExecPlan:
+    """The cached execution plan for *stree* (built on first use)."""
+    key = (id(stree), int(grain))
+    plan = _PLANS.lookup(stree, key)
+    if plan is None:
+        plan = build_plan(stree, grain=grain)
+        _PLANS.store(stree, key, plan)
+    return plan  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class PreparedFactor:
+    """Kernel-ready views of one numeric factor.
+
+    ``diag[s]`` is the ``t x t`` lower-triangular diagonal block and
+    ``rect[s]`` the ``(n - t) x t`` below-diagonal rectangle of supernode
+    ``s`` — both C-contiguous views into the factor's trapezoids (no data
+    is copied).  Construction validates every diagonal entry, so holding a
+    ``PreparedFactor`` certifies the factor is cleanly solvable.
+    """
+
+    diag: list[np.ndarray]
+    rect: list[np.ndarray]
+
+
+def _prepare(factor: SupernodalFactor) -> PreparedFactor:
+    diag: list[np.ndarray] = []
+    rect: list[np.ndarray] = []
+    for s, (sn, block) in enumerate(zip(factor.stree.supernodes, factor.blocks)):
+        t = sn.t
+        d = block[:t, :t]
+        dvals = np.diagonal(d)
+        if t and (np.any(dvals == 0.0) or not np.all(np.isfinite(dvals))):
+            bad = int(np.flatnonzero((dvals == 0.0) | ~np.isfinite(dvals))[0])
+            raise ValueError(
+                f"singular or non-finite diagonal in supernode {s} "
+                f"(global column {sn.col_lo + bad}): triangular solve is "
+                "undefined for this factor"
+            )
+        diag.append(d)
+        rect.append(block[t:, :t])
+    return PreparedFactor(diag=diag, rect=rect)
+
+
+def prepare_factor(factor: SupernodalFactor) -> PreparedFactor:
+    """Cached kernel-ready form of *factor* (validated on first use)."""
+    key = ("factor", id(factor))
+    prep = _PREPARED.lookup(factor, key)
+    if prep is None:
+        prep = _prepare(factor)
+        _PREPARED.store(factor, key, prep)
+    return prep  # type: ignore[return-value]
+
+
+def clear_exec_caches() -> None:
+    """Drop all cached plans and prepared factors (tests/benchmarks)."""
+    _PLANS.clear()
+    _PREPARED.clear()
+
+
+def exec_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters for both caches."""
+    return {
+        "plan_hits": _PLANS.hits,
+        "plan_misses": _PLANS.misses,
+        "plan_entries": len(_PLANS),
+        "factor_hits": _PREPARED.hits,
+        "factor_misses": _PREPARED.misses,
+        "factor_entries": len(_PREPARED),
+    }

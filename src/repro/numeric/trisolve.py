@@ -38,6 +38,18 @@ def _as_matrix(b: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
     raise ValueError("rhs must be a vector or a 2-D block of vectors")
 
 
+def as_rhs_matrix(b: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
+    """Coerce *b* to a fresh float64 ``(n, nrhs)`` block.
+
+    Returns ``(matrix, squeeze)`` where ``squeeze`` records whether the
+    caller passed a plain vector and should get one back.  Shared by the
+    serial solvers here and the real execution backends in
+    :mod:`repro.exec`, so every backend normalises right-hand sides the
+    same way.
+    """
+    return _as_matrix(b, n)
+
+
 # ----------------------------------------------------------------- simplicial
 def forward_simplicial(l: LowerCSC, b: np.ndarray) -> np.ndarray:
     """Solve ``L y = b`` column by column (reference implementation)."""

@@ -88,6 +88,21 @@ class SupernodalTree:
     def roots(self) -> list[int]:
         return [s for s in range(self.nsuper) if self.parent[s] == NO_PARENT]
 
+    def bottom_up_levels(self) -> np.ndarray:
+        """Per-supernode level counted from the leaves (leaves at 0).
+
+        ``bottom_up_levels()[s] = 1 + max(levels of children)`` — the earliest
+        parallel step at which supernode ``s`` can run in a level-scheduled
+        forward elimination, and (reversed) the dependency depth of the
+        backward substitution.  Complements :attr:`level`, which counts from
+        the roots (paper Figure 1).
+        """
+        out = np.zeros(self.nsuper, dtype=np.int64)
+        for s in range(self.nsuper):
+            if self.children[s]:
+                out[s] = 1 + max(int(out[c]) for c in self.children[s])
+        return out
+
     def topo_order(self) -> range:
         """Bottom-up order: node indices ascend from leaves to roots.
 

@@ -36,6 +36,32 @@ class TestCommands:
         ) == 0
         assert "FBsolve" in capsys.readouterr().out
 
+    def test_solve_threads_backend(self, capsys):
+        assert main(
+            ["solve", "--matrix", "grid2d", "--size", "10", "--p", "4",
+             "--nrhs", "4", "--backend", "threads", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=threads workers=2" in out
+        assert "wall-clock" in out and "residual" in out
+
+    def test_solve_serial_backend(self, capsys):
+        assert main(
+            ["solve", "--matrix", "grid2d", "--size", "10", "--p", "2",
+             "--backend", "serial"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=serial" in out and "wall-clock" in out
+
+    def test_solve_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--backend", "gpu"])
+
+    def test_solve_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            main(["solve", "--matrix", "grid2d", "--size", "8", "--p", "2",
+                  "--backend", "threads", "--workers", "0"])
+
     def test_schedules(self, capsys):
         assert main(["schedules", "--nb", "5", "--tb", "3", "--q", "2"]) == 0
         out = capsys.readouterr().out

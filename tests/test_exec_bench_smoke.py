@@ -1,0 +1,95 @@
+"""The exec-backend benchmark harness must run and emit schema-valid JSON.
+
+CI runs ``bench_exec_backend.py --quick`` and uploads ``BENCH_exec.json``
+as an artifact; this smoke test runs the same command end to end in a
+temp directory and validates the payload against the documented schema
+(required per-record keys: backend, n, nrhs, workers, seconds, mflops).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+BENCH = ROOT / "benchmarks" / "bench_exec_backend.py"
+
+
+def _load_bench_module():
+    sys.path.insert(0, str(ROOT))
+    try:
+        from benchmarks import bench_exec_backend
+    finally:
+        sys.path.pop(0)
+    return bench_exec_backend
+
+
+@pytest.fixture(scope="module")
+def quick_payload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_exec.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--quick", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert proc.returncode == 0, f"bench failed:\n{proc.stdout}\n{proc.stderr}"
+    return json.loads(out.read_text()), proc.stdout
+
+
+class TestBenchSmoke:
+    def test_schema_is_valid(self, quick_payload):
+        payload, _ = quick_payload
+        bench = _load_bench_module()
+        assert bench.validate_payload(payload) == []
+
+    def test_required_record_keys(self, quick_payload):
+        payload, _ = quick_payload
+        for rec in payload["results"]:
+            for key in ("backend", "n", "nrhs", "workers", "seconds", "mflops"):
+                assert key in rec
+
+    def test_all_backends_and_nrhs_covered(self, quick_payload):
+        payload, _ = quick_payload
+        backends = {rec["backend"] for rec in payload["results"]}
+        assert backends == {"serial", "threads", "scipy"}
+        assert {rec["nrhs"] for rec in payload["results"]} == {1, 4, 16}
+
+    def test_table_and_speedups_printed(self, quick_payload):
+        _, stdout = quick_payload
+        assert "MFLOPS" in stdout
+        assert "vs serial" in stdout
+
+    def test_validator_rejects_broken_payloads(self):
+        bench = _load_bench_module()
+        assert bench.validate_payload({"schema": "nope", "results": []})
+        good = {
+            "schema": bench.SCHEMA,
+            "results": [
+                {
+                    "backend": "threads",
+                    "n": 10,
+                    "nrhs": 1,
+                    "workers": 2,
+                    "seconds": 0.1,
+                    "mflops": 1.0,
+                }
+            ],
+        }
+        assert bench.validate_payload(good) == []
+        bad = {"schema": bench.SCHEMA, "results": [{"backend": "threads"}]}
+        errors = bench.validate_payload(bad)
+        assert errors and "missing keys" in errors[0]
+
+    def test_committed_trajectory_file_is_valid_when_present(self):
+        committed = ROOT / "BENCH_exec.json"
+        if not committed.exists():
+            pytest.skip("no committed BENCH_exec.json")
+        bench = _load_bench_module()
+        assert bench.validate_payload(json.loads(committed.read_text())) == []
