@@ -209,14 +209,22 @@ def run(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT})")
     parser.add_argument("--workers", type=int, nargs="+", default=None,
-                        help="thread counts to benchmark (default 1 2 4; "
-                             "quick: 2)")
+                        help="thread counts to benchmark (default: 1, 2 and "
+                             "the machine default from "
+                             "repro.exec.default_workers(); quick: 2)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per configuration (best-of)")
     args = parser.parse_args(argv)
 
+    # The engine's own default-worker policy is the benchmark's ceiling,
+    # so the three call sites (engine, CLI, harness) cannot drift.
+    from repro.exec import default_workers
+
+    cap = default_workers()
     problems = QUICK_PROBLEMS if args.quick else FULL_PROBLEMS
-    workers_list = args.workers or ([2] if args.quick else [1, 2, 4])
+    workers_list = args.workers or (
+        [min(2, cap)] if args.quick else sorted({1, min(2, cap), min(4, cap), cap})
+    )
     repeats = args.repeats or (2 if args.quick else 5)
 
     results: list[dict] = []
@@ -232,6 +240,7 @@ def run(argv: list[str] | None = None) -> int:
             "quick": bool(args.quick),
             "repeats": repeats,
             "cpu_count": os.cpu_count(),
+            "default_workers": cap,
             "blas_threads": os.environ.get("OPENBLAS_NUM_THREADS"),
             "python": sys.version.split()[0],
             "numpy": np.__version__,

@@ -59,12 +59,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"p={rep.p} nrhs={rep.nrhs} backend=sim")
     else:
         kind = "wall-clock"
-        from repro.exec import plan_for, resolve_workers
+        from repro.exec import default_workers, plan_for
 
-        nw = resolve_workers(rep.workers) if rep.backend == "threads" else 1
+        nw = 1
+        if rep.backend == "threads":
+            nw = rep.workers if rep.workers is not None else default_workers()
         stats = plan_for(solver.symbolic.stree).stats()
         print(f"nrhs={rep.nrhs} backend={rep.backend} workers={nw} "
               f"tasks={stats['ntasks']} levels={stats['nlevels']}")
+        if rep.schedule_certificate:
+            print(f"schedule certificate: {rep.schedule_certificate}")
     print(f"  factorization : {rep.factor_seconds * 1e3:10.3f} ms  "
           f"({rep.factor_mflops:8.1f} MFLOPS, simulated)")
     print(f"  redistribute  : {rep.redistribute_seconds * 1e3:10.3f} ms  "
@@ -149,6 +153,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     argv = ["--corpus", args.corpus]
     if args.no_solvers:
         argv.append("--no-solvers")
+    if args.json:
+        argv.append("--json")
     return verify_main(argv)
 
 
@@ -225,6 +231,8 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--corpus", choices=["repo", "bad"], default="repo")
     s.add_argument("--no-solvers", action="store_true",
                    help="skip the SPMD solver communication-lint section")
+    s.add_argument("--json", action="store_true",
+                   help="emit findings as schema-stable JSON")
     s.set_defaults(func=_cmd_verify)
     return parser
 

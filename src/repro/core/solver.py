@@ -59,6 +59,14 @@ class SolveReport:
     ``backend`` records where the triangular-solve seconds came from:
     ``"sim"`` (simulated machine makespans, the default), or the real
     wall-clock backends ``"serial"`` / ``"threads"`` of :mod:`repro.exec`.
+
+    ``schedule_certificate`` (``threads`` backend with ``verify=True``)
+    is the determinism certificate of the statically certified execution
+    plan: a canonical hash over the schedule's reduction orders and task
+    topology.  It is a pure function of the symbolic structure — two
+    reports with equal certificates ran schedule-equivalent (hence
+    bitwise-identical) solves, for *any* worker counts, without either
+    run having to be repeated.
     """
 
     n: int
@@ -72,6 +80,7 @@ class SolveReport:
     residual: float | None = None
     backend: str = "sim"
     workers: int | None = None
+    schedule_certificate: str | None = None
 
     @property
     def fbsolve_seconds(self) -> float:
@@ -252,7 +261,13 @@ class ParallelSparseSolver:
         * ``"threads"`` — the shared-memory engine of :mod:`repro.exec`
           with ``workers`` threads (default: one per core, capped);
           seconds are measured wall-clock.  Results are bitwise
-          reproducible across worker counts.
+          reproducible across worker counts.  With ``verify=True`` (the
+          solver default) the execution plan is first put through the
+          static schedule certifier — race-freedom, exactly-once
+          coverage, canonical reduction order — and the resulting
+          determinism certificate is recorded on the report
+          (``schedule_certificate``); certification is memoized per
+          structure, so only the first solve pays for the proof.
 
         Factorization and redistribution seconds always come from the
         machine model — only the repo's real hot path (the solves) is
@@ -296,6 +311,10 @@ class ParallelSparseSolver:
             backend=backend,
             workers=workers,
         )
+        if backend == "threads" and self.verify:
+            from repro.exec import certificate_for
+
+            report.schedule_certificate = certificate_for(sym.stree).digest
         if check:
             from repro.sparse.ops import relative_residual
 
@@ -332,7 +351,10 @@ class ParallelSparseSolver:
         else:  # threads
             from repro.exec import backward_exec, forward_exec, plan_for
 
-            plan = plan_for(sym.stree)  # cached across repeated solves
+            # Cached across repeated solves; with verify=True the plan is
+            # also statically certified (once per structure) before any
+            # task is dispatched.
+            plan = plan_for(sym.stree, certify=self.verify)
             t0 = perf_counter()
             y = forward_exec(factor, b_perm, workers=workers, plan=plan)
             t1 = perf_counter()

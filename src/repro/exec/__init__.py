@@ -12,13 +12,17 @@ Public surface:
 * :func:`forward_exec` / :func:`backward_exec` / :func:`solve_exec` —
   the engine entry points (vector or ``(n, nrhs)`` blocks).
 * :func:`build_plan` / :func:`plan_for` — explicit or cached
-  :class:`ExecPlan` construction.
+  :class:`ExecPlan` construction; ``plan_for(..., certify=True)`` runs
+  the static schedule certifier (:mod:`repro.verify.schedule`) first.
+* :func:`certificate_for` — the memoized determinism certificate for a
+  structure's plan (race-freedom + exactly-once coverage proofs).
 * :func:`prepare_factor`, :func:`clear_exec_caches`,
   :func:`exec_cache_stats` — value preparation and cache control.
 """
 
 from repro.exec.cache import (
     PreparedFactor,
+    certificate_for,
     clear_exec_caches,
     exec_cache_stats,
     plan_for,
@@ -27,6 +31,7 @@ from repro.exec.cache import (
 from repro.exec.engine import (
     MAX_DEFAULT_WORKERS,
     backward_exec,
+    default_workers,
     forward_exec,
     resolve_workers,
     solve_exec,
@@ -42,8 +47,10 @@ __all__ = [
     "PreparedFactor",
     "backward_exec",
     "build_plan",
+    "certificate_for",
     "check_plan",
     "clear_exec_caches",
+    "default_workers",
     "exec_cache_stats",
     "forward_exec",
     "plan_for",

@@ -10,6 +10,12 @@ engine never rebuilds what it can reuse:
   :class:`~repro.symbolic.analyze.SymbolicFactor` and
   :class:`~repro.numeric.supernodal.SupernodalFactor` share — and entries
   are evicted automatically when the structure is garbage collected.
+  ``plan_for(..., certify=True)`` additionally runs the static schedule
+  certifier (:func:`repro.verify.schedule.certify_plan`) over the plan
+  and raises :class:`repro.verify.VerificationError` on any finding;
+  the resulting :class:`~repro.verify.schedule.ScheduleCertificate` is
+  memoized alongside the plan (same key, same eviction), so repeated
+  certified solves pay for the proof exactly once per structure.
 * :func:`prepare_factor` caches a :class:`PreparedFactor` per numeric
   factor: contiguous diagonal/rectangle views of each trapezoid plus a
   one-time singularity screen, so a zero or non-finite diagonal raises a
@@ -25,12 +31,16 @@ from __future__ import annotations
 import threading
 import weakref
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exec.plan import DEFAULT_GRAIN, ExecPlan, build_plan
 from repro.numeric.supernodal import SupernodalFactor
 from repro.symbolic.stree import SupernodalTree
+
+if TYPE_CHECKING:
+    from repro.verify.schedule import ScheduleCertificate
 
 
 class _IdentityCache:
@@ -74,16 +84,52 @@ class _IdentityCache:
 
 _PLANS = _IdentityCache("plans")
 _PREPARED = _IdentityCache("prepared")
+_CERTS = _IdentityCache("certs")
 
 
-def plan_for(stree: SupernodalTree, *, grain: int = DEFAULT_GRAIN) -> ExecPlan:
-    """The cached execution plan for *stree* (built on first use)."""
+def plan_for(
+    stree: SupernodalTree, *, grain: int = DEFAULT_GRAIN, certify: bool = False
+) -> ExecPlan:
+    """The cached execution plan for *stree* (built on first use).
+
+    With ``certify=True`` the plan is additionally put through the
+    static schedule certifier before it is handed out:
+    :class:`repro.verify.VerificationError` is raised if the certifier
+    finds a race, a coverage violation, or a nondeterministic reduction
+    order.  The certificate is cached alongside the plan, so only the
+    first certified call per ``(structure, grain)`` pays for the proof.
+    """
     key = (id(stree), int(grain))
     plan = _PLANS.lookup(stree, key)
     if plan is None:
         plan = build_plan(stree, grain=grain)
         _PLANS.store(stree, key, plan)
+    if certify:
+        certificate_for(stree, grain=grain).report.raise_if_errors(
+            "execution plan failed schedule certification"
+        )
     return plan  # type: ignore[return-value]
+
+
+def certificate_for(
+    stree: SupernodalTree, *, grain: int = DEFAULT_GRAIN
+) -> "ScheduleCertificate":
+    """The cached schedule certificate for *stree*'s plan at *grain*.
+
+    Runs :func:`repro.verify.schedule.certify_plan` on first use and
+    memoizes the result with the same identity key and weakref eviction
+    as the plan itself.  Returns the certificate whether or not it is
+    clean — callers decide between inspecting ``.report`` and failing
+    fast (:func:`plan_for` with ``certify=True`` does the latter).
+    """
+    key = (id(stree), int(grain))
+    cert = _CERTS.lookup(stree, key)
+    if cert is None:
+        from repro.verify.schedule import certify_plan
+
+        cert = certify_plan(plan_for(stree, grain=grain), stree)
+        _CERTS.store(stree, key, cert)
+    return cert  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
@@ -131,13 +177,14 @@ def prepare_factor(factor: SupernodalFactor) -> PreparedFactor:
 
 
 def clear_exec_caches() -> None:
-    """Drop all cached plans and prepared factors (tests/benchmarks)."""
+    """Drop all cached plans, prepared factors and certificates."""
     _PLANS.clear()
     _PREPARED.clear()
+    _CERTS.clear()
 
 
 def exec_cache_stats() -> dict[str, int]:
-    """Hit/miss/size counters for both caches."""
+    """Hit/miss/size counters for all three caches."""
     return {
         "plan_hits": _PLANS.hits,
         "plan_misses": _PLANS.misses,
@@ -145,4 +192,7 @@ def exec_cache_stats() -> dict[str, int]:
         "factor_hits": _PREPARED.hits,
         "factor_misses": _PREPARED.misses,
         "factor_entries": len(_PREPARED),
+        "cert_hits": _CERTS.hits,
+        "cert_misses": _CERTS.misses,
+        "cert_entries": len(_CERTS),
     }

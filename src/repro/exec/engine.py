@@ -48,15 +48,27 @@ from repro.util.validation import require
 MAX_DEFAULT_WORKERS = 8
 
 
+def default_workers() -> int:
+    """The worker count used when callers pass ``workers=None``.
+
+    One thread per core, capped at :data:`MAX_DEFAULT_WORKERS`, never
+    below 1.  This is the single source of truth for "how many workers
+    does this machine get by default" — the engine, the CLI and the
+    benchmark harness all call it, so the policy cannot drift between
+    them.
+    """
+    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+
+
 def resolve_workers(workers: int | None) -> int:
     """Validate and default the worker count.
 
-    ``None`` means "use the machine": ``min(cpu_count, 8)``.  Anything
+    ``None`` means "use the machine" (:func:`default_workers`).  Anything
     below 1 (or non-integral) is rejected with :class:`ValueError` — a
     pool of zero workers would accept tasks and never run them.
     """
     if workers is None:
-        return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+        return default_workers()
     if isinstance(workers, bool) or not isinstance(workers, (int, np.integer)):
         raise ValueError(f"workers must be a positive integer, got {workers!r}")
     require(int(workers) >= 1, f"workers must be >= 1, got {workers}")

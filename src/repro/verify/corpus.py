@@ -13,6 +13,7 @@ to catch.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Generator
 
@@ -136,6 +137,79 @@ def _cyclic_graph() -> Report:
     return lint_task_graph(g)
 
 
+# ----------------------------------------------------- execution-plan mutants
+def _plan_and_tree():
+    """A small pristine execution plan to mutate (grid2d(5), grain 64)."""
+    from repro.exec.plan import build_plan
+    from repro.sparse.generators import grid2d_laplacian
+    from repro.symbolic.analyze import analyze
+
+    sym = analyze(grid2d_laplacian(5))
+    return build_plan(sym.stree, grain=64), sym.stree
+
+
+def _certify(plan, stree) -> Report:
+    from repro.verify.schedule import certify_plan
+
+    return certify_plan(plan, stree).report
+
+
+def _plan_dropped_dependency() -> Report:
+    # Remove one child task from a parent's dependency list: the parent's
+    # forward counter under-counts, so it can start before that child has
+    # published its contribution — a latent data race.
+    plan, stree = _plan_and_tree()
+    task_children = [list(c) for c in plan.task_children]
+    tp = next(i for i in range(plan.ntasks) if task_children[i])
+    task_children[tp].pop(0)
+    return _certify(dataclasses.replace(plan, task_children=task_children), stree)
+
+
+def _plan_scatter_overlap() -> Report:
+    # Duplicate one scatter index: `acc[idx] += u` with a repeated target
+    # silently drops a child contribution under numpy fancy indexing.
+    plan, stree = _plan_and_tree()
+    steps = list(plan.steps)
+    si = next(
+        i for i, st in enumerate(steps)
+        if any(idx.size >= 2 for idx in st.child_scatter)
+    )
+    scatters = list(steps[si].child_scatter)
+    ci = next(i for i, idx in enumerate(scatters) if idx.size >= 2)
+    idx = scatters[ci].copy()
+    idx[1] = idx[0]
+    scatters[ci] = idx
+    steps[si] = dataclasses.replace(steps[si], child_scatter=tuple(scatters))
+    return _certify(dataclasses.replace(plan, steps=steps), stree)
+
+
+def _plan_duplicated_columns() -> Report:
+    # Two supernodes claim the same column range: those solution rows are
+    # written twice and the displaced range is never written at all.
+    plan, stree = _plan_and_tree()
+    steps = list(plan.steps)
+    steps[1] = dataclasses.replace(
+        steps[1], col_lo=steps[0].col_lo, col_hi=steps[0].col_hi
+    )
+    return _certify(dataclasses.replace(plan, steps=steps), stree)
+
+
+def _plan_permuted_reduction() -> Report:
+    # Reverse one node's child list (scatters permuted consistently, so
+    # every contribution still lands on the right rows): numerically the
+    # sums are reassociated, so results stop being bitwise reproducible.
+    plan, stree = _plan_and_tree()
+    steps = list(plan.steps)
+    si = next(i for i, st in enumerate(steps) if len(st.children) >= 2)
+    st = steps[si]
+    steps[si] = dataclasses.replace(
+        st,
+        children=tuple(reversed(st.children)),
+        child_scatter=tuple(reversed(st.child_scatter)),
+    )
+    return _certify(dataclasses.replace(plan, steps=steps), stree)
+
+
 _BAD_SOURCE = '''\
 import numpy as np
 import os
@@ -209,6 +283,30 @@ def known_bad_cases() -> list[BadCase]:
             "cyclic task dependencies that would stall the event simulator",
             frozenset({"graph-cycle"}),
             _cyclic_graph,
+        ),
+        BadCase(
+            "plan-dropped-dependency",
+            "a task's dependency count misses one child — premature start race",
+            frozenset({"schedule-dep-count", "schedule-race"}),
+            _plan_dropped_dependency,
+        ),
+        BadCase(
+            "plan-scatter-overlap",
+            "a duplicated scatter index that drops a child contribution",
+            frozenset({"schedule-scatter-overlap"}),
+            _plan_scatter_overlap,
+        ),
+        BadCase(
+            "plan-duplicated-columns",
+            "two supernodes writing the same solution column range",
+            frozenset({"schedule-coverage-overlap", "schedule-coverage-gap"}),
+            _plan_duplicated_columns,
+        ),
+        BadCase(
+            "plan-permuted-reduction",
+            "a child reduction list out of ascending order — nondeterministic sums",
+            frozenset({"schedule-reduction-order"}),
+            _plan_permuted_reduction,
         ),
         BadCase(
             "forbidden-source-constructs",

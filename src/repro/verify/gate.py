@@ -1,13 +1,17 @@
-"""Repo-wide verification gate: AST lint + structural invariants + SPMD lint.
+"""Repo-wide verification gate: AST lint + structural invariants + SPMD lint
++ schedule certification.
 
 ``run_gate`` is what ``python -m repro.verify`` executes: it lints every
 source file under ``src/repro``, checks the structural invariants of a
 small deterministic workload battery end to end (ordering -> symbolic ->
-mapping -> layouts), and statically verifies the communication structure
-of the repo's real SPMD forward/backward solver programs — all without
-running the timing simulator.  ``run_bad_corpus`` is the negative gate:
-it must find errors in every seeded known-bad input, proving the
-checkers still catch what they were built to catch.
+mapping -> layouts), statically verifies the communication structure
+of the repo's real SPMD forward/backward solver programs, and certifies
+the shared-memory execution plans of a 2-D/3-D grid battery for
+race-freedom, exactly-once coverage and reduction-order determinism —
+all without running the simulator or the thread pool.
+``run_bad_corpus`` is the negative gate: it must find errors in every
+seeded known-bad input, proving the checkers still catch what they were
+built to catch.
 """
 
 from __future__ import annotations
@@ -114,11 +118,72 @@ def run_solver_comm_lint(*, p: int = 4, b: int = 4) -> Report:
     return report
 
 
+#: The standard schedule-certification battery: (label, builder, sizes).
+#: Grains span "one task per supernode" (0) through heavy aggregation;
+#: nrhs ∈ {1, 4} exercises the certifier's claim that effect summaries
+#: are independent of the right-hand-side width.
+SCHEDULE_BATTERY_GRAINS = (0, 256, 4096)
+SCHEDULE_BATTERY_NRHS = (1, 4)
+
+
+def run_schedule_certification() -> Report:
+    """Certify the execution plans of the standard workload battery.
+
+    For every (matrix, grain) the plan must certify clean — no races, no
+    coverage violation, canonical reduction order — and its determinism
+    certificate must be byte-identical across ``nrhs`` values and across
+    an independent rebuild of the same plan (``schedule-cert-unstable``
+    otherwise).  This is the static counterpart of the runtime test that
+    solves are bitwise identical across worker counts.
+    """
+    from repro.exec.plan import build_plan
+    from repro.sparse.generators import grid2d_laplacian, grid3d_laplacian
+    from repro.symbolic.analyze import analyze
+    from repro.verify.schedule import certify_plan
+
+    report = Report()
+    battery = [
+        ("grid2d(8)", grid2d_laplacian(8)),
+        ("grid2d(12)", grid2d_laplacian(12)),
+        ("grid3d(4)", grid3d_laplacian(4)),
+    ]
+    for name, a in battery:
+        sym = analyze(a)
+        for grain in SCHEDULE_BATTERY_GRAINS:
+            label = f"{name} grain={grain}"
+            plan = build_plan(sym.stree, grain=grain)
+            digests = set()
+            for nrhs in SCHEDULE_BATTERY_NRHS:
+                cert = certify_plan(plan, sym.stree, nrhs=nrhs, name=label)
+                digests.add(cert.digest)
+                for f in cert.report:
+                    report.add(
+                        f.rule,
+                        f"[schedule nrhs={nrhs}] {f.message}",
+                        location=f.location,
+                        severity=f.severity,
+                    )
+            rebuilt = certify_plan(
+                build_plan(sym.stree, grain=grain), sym.stree, name=label
+            )
+            digests.add(rebuilt.digest)
+            if len(digests) != 1:
+                report.add(
+                    "schedule-cert-unstable",
+                    f"{label}: determinism certificate differs across nrhs or "
+                    f"across plan rebuilds ({sorted(digests)}) — the hash is "
+                    "not a pure function of the structure",
+                    location=label,
+                )
+    return report
+
+
 def run_gate(root: Path | None = None, *, include_solvers: bool = True) -> Report:
     """The full repo gate; returns the merged report of every section."""
     report = Report()
     report.extend(run_source_lint(root))
     report.extend(run_structure_checks())
+    report.extend(run_schedule_certification())
     if include_solvers:
         report.extend(run_solver_comm_lint())
     return report
@@ -180,6 +245,7 @@ def severity_exit_code(report: Report) -> int:
 
 __all__ = [
     "run_gate",
+    "run_schedule_certification",
     "run_source_lint",
     "run_structure_checks",
     "run_solver_comm_lint",

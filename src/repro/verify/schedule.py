@@ -1,0 +1,496 @@
+"""Static schedule certifier for the shared-memory execution plans.
+
+:func:`certify_plan` takes an :class:`~repro.exec.plan.ExecPlan` (and
+optionally the :class:`~repro.symbolic.stree.SupernodalTree` it was
+built from) and *proves*, without executing anything, the three
+properties the engine's docstrings promise:
+
+1. **Race-freedom.**  The per-task read/write effect summaries of
+   :mod:`repro.verify.effects` are crossed against the happens-before
+   relation induced by the engine's dependency counting.  A dependency
+   edge ``i -> d`` is *guaranteed* only when task ``d``'s counter equals
+   its true in-degree — a smaller counter means ``d`` can start before
+   some predecessor finished, so none of its in-edges order anything.
+   Every conflicting effect pair (same space, overlapping rows, at least
+   one write, different supernodes) must be ordered by the transitive
+   closure of the guaranteed edges; read-after-write pairs must be
+   ordered *writer-first*.
+2. **Exactly-once coverage.**  The supernode column ranges tile
+   ``0..n`` with no overlap and no gap (every solution row is written by
+   exactly one node per sweep), and each child contribution buffer is
+   consumed by exactly one scatter whose indices map the child's
+   below-rows bijectively into the parent's trapezoid.
+3. **Reduction-order determinism.**  Every node's child list ascends —
+   the fixed reduction order that makes results bitwise identical for
+   every worker count — and the certificate digest is a canonical hash
+   over the steps, the ordered reduction lists, the scatter indices and
+   the task topology, so two runs (any worker counts) can be checked
+   for schedule equivalence by comparing two hex strings.
+
+Findings use the shared :class:`~repro.verify.findings.Report`
+machinery; rules are prefixed ``schedule-``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.verify.effects import (
+    READ,
+    WRITE,
+    Effect,
+    backward_effects,
+    effect_conflicts,
+    format_index_set,
+    forward_effects,
+)
+from repro.verify.findings import Report
+from repro.util.validation import require
+
+if TYPE_CHECKING:
+    from repro.exec.plan import ExecPlan
+    from repro.symbolic.stree import SupernodalTree
+
+#: Bumped whenever the canonical serialization behind the digest changes.
+CERT_SCHEMA = "repro-schedule-cert/1"
+
+
+@dataclass(frozen=True)
+class ScheduleCertificate:
+    """The certifier's verdict for one plan.
+
+    ``digest`` is the determinism certificate: equal digests mean equal
+    schedules (same steps, same reduction orders, same task topology),
+    hence bitwise-equal results regardless of worker count.  ``report``
+    carries every violated property; :attr:`ok` is True iff none.
+    """
+
+    digest: str
+    report: Report
+    nsuper: int
+    ntasks: int
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+# ------------------------------------------------------------------ digest
+def plan_digest(plan: "ExecPlan") -> str:
+    """Canonical sha256 over the schedule-defining parts of *plan*.
+
+    Covers: per-step column ranges, below-rows, ordered child
+    (reduction) lists and scatter indices; per-task node lists; and the
+    task parent topology.  Deliberately excludes the aggregation grain
+    and anything runtime-dependent (worker counts never enter), so the
+    digest is a pure function of the schedule's semantics.
+    """
+    h = hashlib.sha256(CERT_SCHEMA.encode())
+
+    def put(values) -> None:
+        h.update(np.ascontiguousarray(values, dtype=np.int64).tobytes())
+
+    put([len(plan.steps), len(plan.tasks)])
+    for st in plan.steps:
+        put([st.s, st.col_lo, st.col_hi, st.t, st.n, len(st.children)])
+        put(st.below)
+        put(list(st.children))
+        for idx in st.child_scatter:
+            put([idx.size])
+            put(idx)
+    for task in plan.tasks:
+        put([task.index, task.root, len(task.nodes)])
+        put(list(task.nodes))
+    put(plan.task_parent)
+    return h.hexdigest()
+
+
+# ------------------------------------------------------- structural checks
+def _check_partition(plan: "ExecPlan", report: Report, name: str) -> None:
+    """Each supernode must belong to exactly one task, listed ascending."""
+    owner: dict[int, int] = {}
+    for ti, task in enumerate(plan.tasks):
+        if list(task.nodes) != sorted(task.nodes):
+            report.add(
+                "schedule-task-partition",
+                f"task {ti} lists nodes {list(task.nodes)} out of ascending order",
+                location=f"{name}/task {ti}",
+            )
+        for s in task.nodes:
+            if s in owner:
+                report.add(
+                    "schedule-task-partition",
+                    f"supernode {s} appears in tasks {owner[s]} and {ti}",
+                    location=f"{name}/task {ti}",
+                )
+            owner[s] = ti
+    missing = sorted(set(range(len(plan.steps))) - set(owner))
+    if missing:
+        report.add(
+            "schedule-task-partition",
+            f"supernodes {missing} belong to no task — they would never run",
+            location=f"{name}/tasks",
+        )
+
+
+def _check_coverage(plan: "ExecPlan", report: Report, name: str, n: int) -> None:
+    """The column ranges must tile ``[0, n)`` with no overlap and no gap."""
+    ranges = sorted(
+        (st.col_lo, st.col_hi, st.s) for st in plan.steps if st.col_hi > st.col_lo
+    )
+    cursor = 0
+    for lo, hi, s in ranges:
+        if lo < cursor:
+            report.add(
+                "schedule-coverage-overlap",
+                f"columns [{lo}, {min(cursor, hi)}) are written by supernode {s} "
+                "and by an earlier supernode — not exactly-once",
+                location=f"{name}/supernode {s}",
+            )
+        elif lo > cursor:
+            report.add(
+                "schedule-coverage-gap",
+                f"columns [{cursor}, {lo}) are owned by no supernode — never solved",
+                location=f"{name}/columns",
+            )
+        cursor = max(cursor, hi)
+    if cursor < n:
+        report.add(
+            "schedule-coverage-gap",
+            f"columns [{cursor}, {n}) are owned by no supernode — never solved",
+            location=f"{name}/columns",
+        )
+
+
+def _check_scatters(plan: "ExecPlan", report: Report, name: str) -> None:
+    """Scatter indices must map each child's below-rows bijectively."""
+    consumed: dict[int, int] = {}
+    for st in plan.steps:
+        loc = f"{name}/supernode {st.s}"
+        rows = np.concatenate(
+            [np.arange(st.col_lo, st.col_hi, dtype=np.int64), st.below]
+        )
+        if st.t != st.col_hi - st.col_lo or st.n != rows.size:
+            report.add(
+                "schedule-step-shape",
+                f"supernode {st.s} declares t={st.t}, n={st.n} but its column "
+                f"range and below-rows give t={st.col_hi - st.col_lo}, "
+                f"n={rows.size}",
+                location=loc,
+            )
+        if len(st.children) != len(st.child_scatter):
+            report.add(
+                "schedule-scatter-arity",
+                f"supernode {st.s} has {len(st.children)} children but "
+                f"{len(st.child_scatter)} scatter index arrays",
+                location=loc,
+            )
+            continue
+        for c, idx in zip(st.children, st.child_scatter):
+            if c in consumed:
+                report.add(
+                    "schedule-duplicate-consumer",
+                    f"contribution of supernode {c} is scattered by both "
+                    f"supernode {consumed[c]} and supernode {st.s} — "
+                    "it must be consumed exactly once",
+                    location=loc,
+                )
+            consumed[c] = st.s
+            child_below = plan.steps[c].below
+            if idx.size != child_below.size:
+                report.add(
+                    "schedule-scatter-mismatch",
+                    f"scatter for child {c} has {idx.size} indices but the "
+                    f"child contributes {child_below.size} rows",
+                    location=loc,
+                )
+                continue
+            if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= rows.size):
+                report.add(
+                    "schedule-scatter-bounds",
+                    f"scatter for child {c} indexes row {int(idx.max())} of a "
+                    f"{rows.size}-row accumulator",
+                    location=loc,
+                )
+                continue
+            if idx.size >= 2 and np.any(np.diff(idx) <= 0):
+                dup = int(idx[np.flatnonzero(np.diff(idx) <= 0)[0] + 1])
+                report.add(
+                    "schedule-scatter-overlap",
+                    f"scatter for child {c} targets accumulator row {dup} "
+                    "more than once (or out of order) — the fancy-indexed "
+                    "`acc[idx] += u` would drop a contribution",
+                    location=loc,
+                )
+                continue
+            if not np.array_equal(rows[idx], child_below):
+                bad = int(np.flatnonzero(rows[idx] != child_below)[0])
+                report.add(
+                    "schedule-scatter-mismatch",
+                    f"scatter for child {c} maps its below-row "
+                    f"{int(child_below[bad])} to parent row {int(rows[idx][bad])}"
+                    " — the contribution lands on the wrong equation",
+                    location=loc,
+                )
+    # Every node with below-rows produces a contribution that someone
+    # must consume (forward) — except roots of the forest, which cannot
+    # have below-rows in a well-formed factor.
+    for st in plan.steps:
+        if st.below.size and st.s not in consumed:
+            report.add(
+                "schedule-unconsumed-contrib",
+                f"supernode {st.s} produces a {st.below.size}-row contribution "
+                "that no scatter consumes — its updates are lost",
+                location=f"{name}/supernode {st.s}",
+            )
+
+
+def _check_reduction_order(plan: "ExecPlan", report: Report, name: str) -> None:
+    """Child lists must strictly ascend — the canonical reduction order."""
+    for st in plan.steps:
+        ch = list(st.children)
+        if ch != sorted(set(ch)):
+            report.add(
+                "schedule-reduction-order",
+                f"supernode {st.s} reduces children in order {ch} — not "
+                "strictly ascending, so the floating-point sum depends on "
+                "the plan, not on the structure",
+                location=f"{name}/supernode {st.s}",
+            )
+
+
+def _check_tree(plan: "ExecPlan", stree: "SupernodalTree", report: Report, name: str) -> None:
+    """The plan's steps must agree with the assembly tree they claim to run."""
+    if len(plan.steps) != stree.nsuper:
+        report.add(
+            "schedule-tree-mismatch",
+            f"plan has {len(plan.steps)} steps but the tree has "
+            f"{stree.nsuper} supernodes",
+            location=f"{name}/steps",
+        )
+        return
+    for st in plan.steps:
+        sn = stree.supernodes[st.s]
+        loc = f"{name}/supernode {st.s}"
+        if (st.col_lo, st.col_hi) != (sn.col_lo, sn.col_hi):
+            report.add(
+                "schedule-tree-mismatch",
+                f"supernode {st.s} covers columns [{st.col_lo}, {st.col_hi}) "
+                f"in the plan but [{sn.col_lo}, {sn.col_hi}) in the tree",
+                location=loc,
+            )
+        if not np.array_equal(st.below, sn.below):
+            report.add(
+                "schedule-tree-mismatch",
+                f"supernode {st.s}'s below-rows differ between plan and tree",
+                location=loc,
+            )
+        if set(st.children) != set(stree.children[st.s]):
+            report.add(
+                "schedule-tree-mismatch",
+                f"supernode {st.s} scatters children {sorted(st.children)} "
+                f"but the assembly tree gives {sorted(stree.children[st.s])}",
+                location=loc,
+            )
+
+
+# ------------------------------------------------------ happens-before
+def _guaranteed_reachability(
+    ntasks: int,
+    ndeps: Sequence[int],
+    dependents: Sequence[Sequence[int]],
+    report: Report,
+    name: str,
+    phase: str,
+) -> np.ndarray | None:
+    """Transitive closure of the *guaranteed* dependency edges.
+
+    The engine starts task ``d`` when its counter — initialized to
+    ``ndeps[d]`` — reaches zero.  An edge ``i -> d`` therefore orders
+    ``i`` before ``d`` only if the counter equals the true in-degree;
+    a smaller counter lets ``d`` fire after a proper subset of its
+    predecessors, so *no* in-edge is guaranteed, and a larger one means
+    ``d`` (and everything after it) never runs.  Returns the boolean
+    reachability matrix, or ``None`` when the guaranteed edges contain a
+    cycle (reported; race analysis is skipped — nothing would run).
+    """
+    loc = f"{name}/{phase}"
+    in_deg = [0] * ntasks
+    for i in range(ntasks):
+        for d in dependents[i]:
+            in_deg[d] += 1
+    guaranteed = [True] * ntasks
+    for d in range(ntasks):
+        if ndeps[d] == in_deg[d]:
+            continue
+        guaranteed[d] = False
+        if ndeps[d] > in_deg[d]:
+            report.add(
+                "schedule-dep-count",
+                f"[{phase}] task {d} waits for {ndeps[d]} predecessors but "
+                f"only {in_deg[d]} tasks signal it — it would stall forever",
+                location=loc,
+            )
+        else:
+            report.add(
+                "schedule-dep-count",
+                f"[{phase}] task {d} waits for only {ndeps[d]} of its "
+                f"{in_deg[d]} predecessors — it can start before the rest "
+                "finish, so none of its dependency edges order anything",
+                location=loc,
+            )
+
+    # Kahn order over every edge (guaranteed or not) to detect cycles and
+    # to get a topological sequence for closure propagation.
+    counts = list(in_deg)
+    order = [i for i in range(ntasks) if counts[i] == 0]
+    head = 0
+    while head < len(order):
+        i = order[head]
+        head += 1
+        for d in dependents[i]:
+            counts[d] -= 1
+            if counts[d] == 0:
+                order.append(d)
+    if len(order) != ntasks:
+        stuck = sorted(set(range(ntasks)) - set(order))
+        report.add(
+            "schedule-cycle",
+            f"[{phase}] tasks {stuck} form a dependency cycle — the engine "
+            "would stall before running them",
+            location=loc,
+        )
+        return None
+
+    reach = np.zeros((ntasks, ntasks), dtype=bool)
+    np.fill_diagonal(reach, True)
+    for i in reversed(order):
+        for d in dependents[i]:
+            if guaranteed[d]:
+                reach[i] |= reach[d]
+    return reach
+
+
+def _check_phase_races(
+    phase: str,
+    plan: "ExecPlan",
+    effects: list[Effect],
+    ndeps: Sequence[int],
+    dependents: Sequence[Sequence[int]],
+    report: Report,
+    name: str,
+) -> None:
+    """Prove every conflicting effect pair of one sweep is ordered."""
+    reach = _guaranteed_reachability(
+        plan.ntasks, ndeps, dependents, report, name, phase
+    )
+    if reach is None:
+        return
+
+    # Program order inside a task: the forward sweep walks nodes
+    # ascending, the backward sweep descending.
+    pos: dict[int, int] = {}
+    for task in plan.tasks:
+        nodes = task.nodes if phase == "forward" else tuple(reversed(task.nodes))
+        for k, s in enumerate(nodes):
+            pos[s] = k
+
+    loc = f"{name}/{phase}"
+    for a, b, overlap in effect_conflicts(effects):
+        if a.task == b.task:
+            # Sequential within one worker; only the read-after-write
+            # direction can still be wrong.
+            if {a.mode, b.mode} == {READ, WRITE}:
+                w, r = (a, b) if a.mode == WRITE else (b, a)
+                if pos.get(w.node, 0) > pos.get(r.node, 0):
+                    report.add(
+                        "schedule-stale-read",
+                        f"[{phase}] within task {a.task}: {r.describe()} runs "
+                        f"before {w.describe()} — it reads stale values",
+                        location=loc,
+                    )
+            continue
+        a_before_b = bool(reach[a.task, b.task])
+        b_before_a = bool(reach[b.task, a.task])
+        if not a_before_b and not b_before_a:
+            report.add(
+                "schedule-race",
+                f"[{phase}] tasks {a.task} and {b.task} are unordered but "
+                f"conflict on rows {format_index_set(overlap)}: "
+                f"{a.describe()} vs {b.describe()}",
+                location=loc,
+            )
+        elif {a.mode, b.mode} == {READ, WRITE}:
+            w, r = (a, b) if a.mode == WRITE else (b, a)
+            if reach[r.task, w.task]:
+                report.add(
+                    "schedule-stale-read",
+                    f"[{phase}] task {r.task} is ordered *before* task "
+                    f"{w.task} yet {r.describe()} depends on {w.describe()}",
+                    location=loc,
+                )
+
+
+# ------------------------------------------------------------------ public
+def certify_plan(
+    plan: "ExecPlan",
+    stree: "SupernodalTree | None" = None,
+    *,
+    nrhs: int = 1,
+    name: str = "plan",
+) -> ScheduleCertificate:
+    """Statically certify one execution plan; never raises on bad plans.
+
+    Runs every structural proof (task partition, exactly-once column
+    coverage, scatter bijectivity, canonical reduction order, optional
+    assembly-tree cross-check) and the happens-before race analysis for
+    both sweeps, then computes the determinism digest.  ``nrhs`` is the
+    right-hand-side width the plan will be run with; every task accesses
+    all columns of the block, so the effect summaries — and therefore
+    the findings and the digest — are provably identical for every
+    ``nrhs >= 1`` (the parameter exists so callers can certify the exact
+    workload they run).
+
+    Callers that want fail-fast semantics use
+    ``certify_plan(...).report.raise_if_errors()``.
+    """
+    require(nrhs >= 1, f"nrhs must be >= 1, got {nrhs!r}")
+    report = Report()
+    n = stree.n if stree is not None else max(
+        (st.col_hi for st in plan.steps), default=0
+    )
+    _check_partition(plan, report, name)
+    _check_coverage(plan, report, name, n)
+    _check_scatters(plan, report, name)
+    _check_reduction_order(plan, report, name)
+    if stree is not None:
+        _check_tree(plan, stree, report, name)
+
+    fwd_ndeps, fwd_dependents = plan.forward_deps()
+    _check_phase_races(
+        "forward", plan, forward_effects(plan), fwd_ndeps, fwd_dependents,
+        report, name,
+    )
+    bwd_ndeps, bwd_dependents = plan.backward_deps()
+    _check_phase_races(
+        "backward", plan, backward_effects(plan), bwd_ndeps, bwd_dependents,
+        report, name,
+    )
+    return ScheduleCertificate(
+        digest=plan_digest(plan),
+        report=report,
+        nsuper=len(plan.steps),
+        ntasks=plan.ntasks,
+    )
+
+
+__all__ = [
+    "CERT_SCHEMA",
+    "ScheduleCertificate",
+    "certify_plan",
+    "plan_digest",
+]

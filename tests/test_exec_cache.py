@@ -1,0 +1,86 @@
+"""Eviction behaviour of the weakref-keyed exec caches (plans, factors,
+certificates)."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.exec import (
+    certificate_for,
+    clear_exec_caches,
+    exec_cache_stats,
+    plan_for,
+    prepare_factor,
+)
+from repro.numeric.supernodal import cholesky_supernodal
+from repro.sparse.generators import grid2d_laplacian
+from repro.symbolic.analyze import analyze
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_exec_caches()
+    yield
+    clear_exec_caches()
+
+
+def _counts():
+    stats = exec_cache_stats()
+    return stats["plan_entries"], stats["factor_entries"], stats["cert_entries"]
+
+
+def test_plan_cache_releases_when_structure_dies():
+    sym = analyze(grid2d_laplacian(6))
+    plan = plan_for(sym.stree)
+    assert _counts() == (1, 0, 0)
+    # The plan itself must not keep the structure alive: entries are
+    # keyed by the structure's identity, and holding the *value* after
+    # the anchor dies would resurrect stale schedules on id() reuse.
+    del sym
+    gc.collect()
+    assert _counts() == (0, 0, 0)
+    assert plan.ntasks > 0  # the evicted value stays usable for holders
+
+
+def test_prepared_factor_evicted_with_factor():
+    sym = analyze(grid2d_laplacian(6))
+    factor = cholesky_supernodal(sym)
+    prepare_factor(factor)
+    assert exec_cache_stats()["factor_entries"] == 1
+    del factor
+    gc.collect()
+    assert exec_cache_stats()["factor_entries"] == 0
+
+
+def test_certificates_cached_alongside_plan_and_evicted_together():
+    sym = analyze(grid2d_laplacian(6))
+    plan_for(sym.stree, certify=True)
+    assert _counts() == (1, 0, 1)
+
+    stats = exec_cache_stats()
+    assert stats["cert_misses"] == 1
+    plan_for(sym.stree, certify=True)
+    certificate_for(sym.stree)
+    stats = exec_cache_stats()
+    assert stats["cert_misses"] == 1  # memoized: the proof ran exactly once
+    assert stats["cert_hits"] >= 2
+
+    del sym
+    gc.collect()
+    assert _counts() == (0, 0, 0)
+
+
+def test_uncertified_plan_does_not_pay_for_certification():
+    sym = analyze(grid2d_laplacian(6))
+    plan_for(sym.stree)
+    assert exec_cache_stats()["cert_entries"] == 0
+
+
+def test_distinct_grains_get_distinct_certificates():
+    sym = analyze(grid2d_laplacian(6))
+    c0 = certificate_for(sym.stree, grain=0)
+    c1 = certificate_for(sym.stree, grain=4096)
+    assert exec_cache_stats()["cert_entries"] == 2
+    assert c0.digest != c1.digest
