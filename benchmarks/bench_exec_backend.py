@@ -1,24 +1,32 @@
 """Measured-performance harness for the real execution backends.
 
 Times forward+backward triangular solves over generated 2-D/3-D grid
-problems for NRHS in {1, 4, 16} on three backends:
+problems for NRHS in {1, 4, 16} on four backends:
 
 * ``serial``  — the reference supernodal solvers in ``repro.numeric.trisolve``;
 * ``threads`` — the level-scheduled shared-memory engine in ``repro.exec``,
   at each requested worker count (plan cache warmed first, as in steady
-  state);
+  state); worker counts that oversubscribe the machine are skipped and
+  recorded in ``meta.skipped_workers``;
+* ``fused``   — the vectorized level program of ``repro.exec.fused``
+  (whole elimination-tree levels batched into flat array ops);
 * ``scipy``   — ``scipy.sparse.linalg.spsolve_triangular`` on the scattered
   CSR factor, as an external baseline.
 
 Every backend's solution is cross-checked against the serial one before
-its timing is accepted, so a fast-but-wrong backend can never produce a
-flattering number.  Results are written machine-readable to
-``BENCH_exec.json`` at the repo root — the start of the repo's perf
-trajectory; CI runs ``--quick`` and uploads the file as an artifact.
+its timing is accepted — and the repo's own backends (``threads``,
+``fused``) must match *bitwise*, not just to tolerance — so a
+fast-but-wrong backend can never produce a flattering number.  Each
+record carries per-phase seconds (plan build, factor preparation /
+program compile, forward sweep, backward sweep) next to the end-to-end
+solve time.  Results are written machine-readable to
+``BENCH_exec.json`` at the repo root — the repo's perf trajectory; CI
+runs ``--quick --guard`` and uploads the file as an artifact.
 
 Run::
 
-    PYTHONPATH=src python benchmarks/bench_exec_backend.py [--quick] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_exec_backend.py \
+        [--quick] [--guard] [--out PATH]
 
 (The script falls back to inserting ``src/`` on ``sys.path`` itself, and
 pins BLAS to one thread so backend comparisons measure scheduling, not
@@ -47,9 +55,17 @@ if "repro" not in sys.modules:
 
 import numpy as np
 
-SCHEMA = "repro-bench-exec/1"
-REQUIRED_KEYS = {"backend", "n", "nrhs", "workers", "seconds", "mflops"}
+SCHEMA = "repro-bench-exec/2"
+REQUIRED_KEYS = {"backend", "n", "nrhs", "workers", "seconds", "mflops", "phases"}
+PHASE_KEYS = {"plan", "prepare", "forward", "backward"}
+BACKENDS = ("serial", "threads", "fused", "scipy")
+#: Backends whose results must be *bitwise* equal to the serial reference.
+BITWISE_BACKENDS = {"threads", "fused"}
 DEFAULT_OUT = ROOT / "BENCH_exec.json"
+
+#: --guard fails when fused exceeds this multiple of serial on grid3d
+#: at NRHS=1 — a coarse regression tripwire, not a performance target.
+GUARD_RATIO = 1.5
 
 FULL_PROBLEMS = [("grid2d", 32), ("grid2d", 48), ("grid3d", 8), ("grid3d", 10)]
 QUICK_PROBLEMS = [("grid2d", 16), ("grid3d", 5)]
@@ -80,13 +96,37 @@ def _build_problem(kind: str, size: int):
 
 def bench_problem(kind: str, size: int, *, workers_list, repeats: int, tol: float = 1e-9):
     """All backend timings for one problem; yields result records."""
-    from repro.exec import clear_exec_caches, plan_for, solve_exec
+    from repro.exec import (
+        backward_exec,
+        backward_fused,
+        clear_exec_caches,
+        forward_exec,
+        forward_fused,
+        fused_panels_for,
+        plan_for,
+        prepare_factor,
+        program_for,
+        solve_exec,
+        solve_fused,
+    )
     from repro.numeric.trisolve import backward_supernodal, forward_supernodal
     from scipy.sparse.linalg import spsolve_triangular
 
     a, sym, factor = _build_problem(kind, size)
     clear_exec_caches()
+    # One-time per-structure costs, measured cold (the caches amortize
+    # them across every subsequent solve — that is the point of the
+    # per-phase breakdown).
+    t0 = time.perf_counter()
     plan = plan_for(sym.stree)
+    t_plan = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    prepare_factor(factor)
+    t_prepare = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    program = program_for(sym.stree)
+    fused_panels_for(factor)
+    t_compile = time.perf_counter() - t0
     lower = factor.to_lower_csc(sym.l_indptr, sym.l_indices).to_scipy().tocsr()
     upper = lower.T.tocsr()
     label = f"{kind}({size})"
@@ -98,9 +138,17 @@ def bench_problem(kind: str, size: int, *, workers_list, repeats: int, tol: floa
         x_ref = backward_supernodal(factor, forward_supernodal(factor, b))
         flops = 2 * sym.stree.solve_flops(nrhs)
 
-        def record(backend: str, workers: int, seconds: float, x: np.ndarray) -> dict:
+        def record(backend: str, workers: int, seconds: float, x: np.ndarray,
+                   phases: dict) -> dict:
             err = float(np.max(np.abs(x - x_ref)))
-            if err > tol:
+            if backend in BITWISE_BACKENDS:
+                if not np.array_equal(x, x_ref):
+                    raise AssertionError(
+                        f"{label} nrhs={nrhs}: backend {backend} is not bitwise "
+                        f"identical to the serial reference (max dev {err:.2e}) "
+                        "— refusing to record its timing"
+                    )
+            elif err > tol:
                 raise AssertionError(
                     f"{label} nrhs={nrhs}: backend {backend} deviates from the "
                     f"serial reference by {err:.2e} — refusing to record its timing"
@@ -115,14 +163,23 @@ def bench_problem(kind: str, size: int, *, workers_list, repeats: int, tol: floa
                 "mflops": float(flops / seconds / 1e6) if seconds > 0 else 0.0,
                 "ntasks": int(stats["ntasks"]),
                 "nlevels": int(stats["nlevels"]),
+                "phases": {k: float(v) for k, v in phases.items()},
             }
 
+        y_ref = forward_supernodal(factor, b)
         yield record(
             "serial",
             1,
             _best_of(lambda: backward_supernodal(factor, forward_supernodal(factor, b)),
                      repeats),
             x_ref,
+            {
+                "plan": 0.0,
+                "prepare": 0.0,
+                "forward": _best_of(lambda: forward_supernodal(factor, b), repeats),
+                "backward": _best_of(lambda: backward_supernodal(factor, y_ref),
+                                     repeats),
+            },
         )
         for w in workers_list:
             yield record(
@@ -130,7 +187,34 @@ def bench_problem(kind: str, size: int, *, workers_list, repeats: int, tol: floa
                 w,
                 _best_of(lambda: solve_exec(factor, b, workers=w, plan=plan), repeats),
                 solve_exec(factor, b, workers=w, plan=plan),
+                {
+                    "plan": t_plan,
+                    "prepare": t_prepare,
+                    "forward": _best_of(
+                        lambda: forward_exec(factor, b, workers=w, plan=plan), repeats
+                    ),
+                    "backward": _best_of(
+                        lambda: backward_exec(factor, y_ref, workers=w, plan=plan),
+                        repeats,
+                    ),
+                },
             )
+        yield record(
+            "fused",
+            1,
+            _best_of(lambda: solve_fused(factor, b, program=program), repeats),
+            solve_fused(factor, b, program=program),
+            {
+                "plan": t_plan,
+                "prepare": t_compile,
+                "forward": _best_of(
+                    lambda: forward_fused(factor, b, program=program), repeats
+                ),
+                "backward": _best_of(
+                    lambda: backward_fused(factor, y_ref, program=program), repeats
+                ),
+            },
+        )
         yield record(
             "scipy",
             1,
@@ -141,6 +225,16 @@ def bench_problem(kind: str, size: int, *, workers_list, repeats: int, tol: floa
                 repeats,
             ),
             spsolve_triangular(upper, spsolve_triangular(lower, b, lower=True), lower=False),
+            {
+                "plan": 0.0,
+                "prepare": 0.0,
+                "forward": _best_of(
+                    lambda: spsolve_triangular(lower, b, lower=True), repeats
+                ),
+                "backward": _best_of(
+                    lambda: spsolve_triangular(upper, y_ref, lower=False), repeats
+                ),
+            },
         )
 
 
@@ -157,7 +251,7 @@ def validate_payload(payload: dict) -> list[str]:
         if missing:
             errors.append(f"results[{i}] missing keys {sorted(missing)}")
             continue
-        if rec["backend"] not in ("serial", "threads", "scipy"):
+        if rec["backend"] not in BACKENDS:
             errors.append(f"results[{i}] unknown backend {rec['backend']!r}")
         for key in ("n", "nrhs", "workers"):
             if not isinstance(rec[key], int) or rec[key] < 1:
@@ -165,24 +259,37 @@ def validate_payload(payload: dict) -> list[str]:
         for key in ("seconds", "mflops"):
             if not isinstance(rec[key], (int, float)) or rec[key] <= 0:
                 errors.append(f"results[{i}].{key} must be a positive number")
+        phases = rec["phases"]
+        if not isinstance(phases, dict) or set(phases) != PHASE_KEYS:
+            errors.append(
+                f"results[{i}].phases must map exactly {sorted(PHASE_KEYS)}"
+            )
+            continue
+        for key, val in phases.items():
+            if not isinstance(val, (int, float)) or val < 0:
+                errors.append(
+                    f"results[{i}].phases.{key} must be a non-negative number"
+                )
     return errors
 
 
 def render_table(results: list[dict]) -> str:
     lines = [
         f"{'matrix':<12} {'nrhs':>4} {'backend':<8} {'workers':>7} "
-        f"{'ms':>10} {'MFLOPS':>9}"
+        f"{'ms':>10} {'MFLOPS':>9} {'fwd ms':>9} {'bwd ms':>9}"
     ]
     for rec in results:
+        ph = rec["phases"]
         lines.append(
             f"{rec['matrix']:<12} {rec['nrhs']:>4} {rec['backend']:<8} "
-            f"{rec['workers']:>7} {rec['seconds'] * 1e3:>10.3f} {rec['mflops']:>9.1f}"
+            f"{rec['workers']:>7} {rec['seconds'] * 1e3:>10.3f} {rec['mflops']:>9.1f} "
+            f"{ph['forward'] * 1e3:>9.3f} {ph['backward'] * 1e3:>9.3f}"
         )
     return "\n".join(lines)
 
 
 def summarize_speedups(results: list[dict]) -> str:
-    """Threads-vs-serial speedup per (matrix, nrhs), best worker count."""
+    """Per (matrix, nrhs): best threads vs serial, and fused vs serial."""
     serial = {(r["matrix"], r["nrhs"]): r["seconds"]
               for r in results if r["backend"] == "serial"}
     lines = []
@@ -199,13 +306,49 @@ def summarize_speedups(results: list[dict]) -> str:
             f"{matrix:<12} nrhs={nrhs:<3} threads(w={r['workers']}) vs serial: "
             f"{speedup:5.2f}x"
         )
+    for r in sorted(
+        (r for r in results if r["backend"] == "fused"),
+        key=lambda r: (r["matrix"], r["nrhs"]),
+    ):
+        speedup = serial[(r["matrix"], r["nrhs"])] / r["seconds"]
+        lines.append(
+            f"{r['matrix']:<12} nrhs={r['nrhs']:<3} fused vs serial:        "
+            f"{speedup:5.2f}x"
+        )
     return "\n".join(lines)
+
+
+def check_guard(results: list[dict]) -> list[str]:
+    """The CI regression tripwire: fused must not lag serial on grid3d.
+
+    Returns violation messages for every grid3d problem at NRHS=1 where
+    the fused solve exceeds ``GUARD_RATIO`` x the serial solve.
+    """
+    serial = {(r["matrix"], r["nrhs"]): r["seconds"]
+              for r in results if r["backend"] == "serial"}
+    violations: list[str] = []
+    for r in results:
+        if r["backend"] != "fused" or r["nrhs"] != 1:
+            continue
+        if not r["matrix"].startswith("grid3d"):
+            continue
+        limit = GUARD_RATIO * serial[(r["matrix"], r["nrhs"])]
+        if r["seconds"] > limit:
+            violations.append(
+                f"{r['matrix']} nrhs=1: fused took {r['seconds'] * 1e3:.3f} ms, "
+                f"over the guard of {GUARD_RATIO}x serial "
+                f"({limit * 1e3:.3f} ms) — the fused backend regressed"
+            )
+    return violations
 
 
 def run(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small problems, fewer repeats (CI smoke)")
+    parser.add_argument("--guard", action="store_true",
+                        help=f"fail if fused exceeds {GUARD_RATIO}x serial on "
+                             "grid3d at NRHS=1 (CI regression tripwire)")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT})")
     parser.add_argument("--workers", type=int, nargs="+", default=None,
@@ -221,10 +364,20 @@ def run(argv: list[str] | None = None) -> int:
     from repro.exec import default_workers
 
     cap = default_workers()
+    ncpu = os.cpu_count() or 1
     problems = QUICK_PROBLEMS if args.quick else FULL_PROBLEMS
-    workers_list = args.workers or (
+    requested = args.workers or (
         [min(2, cap)] if args.quick else sorted({1, min(2, cap), min(4, cap), cap})
     )
+    # Oversubscribed worker counts measure scheduler thrash, not the
+    # engine; skip them rather than publish misleading numbers.
+    skipped = sorted({w for w in requested if w > ncpu})
+    workers_list = [w for w in requested if w <= ncpu]
+    for w in skipped:
+        print(f"skipping workers={w}: oversubscribes the {ncpu}-core machine",
+              file=sys.stderr)
+    if not workers_list:
+        workers_list = [1]
     repeats = args.repeats or (2 if args.quick else 5)
 
     results: list[dict] = []
@@ -239,8 +392,9 @@ def run(argv: list[str] | None = None) -> int:
         "meta": {
             "quick": bool(args.quick),
             "repeats": repeats,
-            "cpu_count": os.cpu_count(),
+            "cpu_count": ncpu,
             "default_workers": cap,
+            "skipped_workers": skipped,
             "blas_threads": os.environ.get("OPENBLAS_NUM_THREADS"),
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -258,6 +412,13 @@ def run(argv: list[str] | None = None) -> int:
     print()
     print(summarize_speedups(results))
     print(f"\nwrote {args.out}")
+    if args.guard:
+        violations = check_guard(results)
+        for v in violations:
+            print(f"guard violation: {v}", file=sys.stderr)
+        if violations:
+            return 1
+        print(f"guard: fused within {GUARD_RATIO}x of serial on grid3d")
     return 0
 
 

@@ -182,10 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--refine", type=int, default=0)
     s.add_argument("--ordering", default="nested_dissection")
     s.add_argument("--seed", type=int, default=0)
-    s.add_argument("--backend", default="sim", choices=["sim", "serial", "threads"],
+    s.add_argument("--backend", default="sim",
+                   choices=["sim", "serial", "threads", "fused"],
                    help="triangular-solve execution: 'sim' walks the SPMD "
-                        "solvers through the machine simulator; 'serial' and "
-                        "'threads' run them for real and report wall-clock")
+                        "solvers through the machine simulator; 'serial', "
+                        "'threads' and 'fused' run them for real and report "
+                        "wall-clock ('fused' batches whole elimination-tree "
+                        "levels into vectorized array ops)")
     s.add_argument("--workers", type=int, default=None,
                    help="thread count for --backend threads (default: one "
                         "per core, capped)")

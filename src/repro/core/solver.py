@@ -58,15 +58,17 @@ class SolveReport:
 
     ``backend`` records where the triangular-solve seconds came from:
     ``"sim"`` (simulated machine makespans, the default), or the real
-    wall-clock backends ``"serial"`` / ``"threads"`` of :mod:`repro.exec`.
+    wall-clock backends ``"serial"`` / ``"threads"`` / ``"fused"`` of
+    :mod:`repro.exec`.
 
-    ``schedule_certificate`` (``threads`` backend with ``verify=True``)
-    is the determinism certificate of the statically certified execution
-    plan: a canonical hash over the schedule's reduction orders and task
-    topology.  It is a pure function of the symbolic structure — two
-    reports with equal certificates ran schedule-equivalent (hence
-    bitwise-identical) solves, for *any* worker counts, without either
-    run having to be repeated.
+    ``schedule_certificate`` (``threads`` or ``fused`` backend with
+    ``verify=True``) is the determinism certificate of the statically
+    certified execution plan: a canonical hash over the schedule's
+    reduction orders and task topology.  It is a pure function of the
+    symbolic structure — two reports with equal certificates ran
+    schedule-equivalent (hence bitwise-identical) solves, for *any*
+    worker count and either real backend, without either run having to
+    be repeated.
     """
 
     n: int
@@ -268,14 +270,24 @@ class ParallelSparseSolver:
           determinism certificate is recorded on the report
           (``schedule_certificate``); certification is memoized per
           structure, so only the first solve pays for the proof.
+        * ``"fused"`` — the vectorized level program of
+          :mod:`repro.exec.fused`: whole elimination-tree levels batched
+          into a handful of array ops, no per-node Python dispatch, no
+          per-node allocations.  Bitwise identical to ``serial`` and
+          ``threads``.  With ``verify=True`` the compiled program is
+          certified against its plan
+          (:func:`repro.verify.schedule.certify_level_program`) and the
+          report carries the *same* determinism certificate the
+          ``threads`` backend earns — one structure, one certificate.
 
         Factorization and redistribution seconds always come from the
         machine model — only the repo's real hot path (the solves) is
         measured for now.
         """
         sym, factor, assign = self._require_prepared()
-        require(backend in ("sim", "serial", "threads"),
-                f"backend must be 'sim', 'serial' or 'threads', got {backend!r}")
+        require(backend in ("sim", "serial", "threads", "fused"),
+                f"backend must be 'sim', 'serial', 'threads' or 'fused', "
+                f"got {backend!r}")
         require(workers is None or backend == "threads",
                 "workers is only meaningful with backend='threads'")
         bvec = np.asarray(bvec, dtype=np.float64)
@@ -311,10 +323,12 @@ class ParallelSparseSolver:
             backend=backend,
             workers=workers,
         )
-        if backend == "threads" and self.verify:
-            from repro.exec import certificate_for
+        if self.verify and backend in ("threads", "fused"):
+            from repro.exec import certificate_for, fused_certificate_for
 
-            report.schedule_certificate = certificate_for(sym.stree).digest
+            cert = (fused_certificate_for if backend == "fused"
+                    else certificate_for)(sym.stree)
+            report.schedule_certificate = cert.digest
         if check:
             from repro.sparse.ops import relative_residual
 
@@ -347,6 +361,18 @@ class ParallelSparseSolver:
             y = forward_supernodal(factor, b_perm)
             t1 = perf_counter()
             x_perm = backward_supernodal(factor, y)
+            t2 = perf_counter()
+        elif backend == "fused":
+            from repro.exec import backward_fused, forward_fused
+            from repro.exec.cache import program_for
+
+            # Cached per structure; with verify=True the compiled level
+            # program is certified against its plan before first use.
+            program = program_for(sym.stree, certify=self.verify)
+            t0 = perf_counter()
+            y = forward_fused(factor, b_perm, program=program)
+            t1 = perf_counter()
+            x_perm = backward_fused(factor, y, program=program)
             t2 = perf_counter()
         else:  # threads
             from repro.exec import backward_exec, forward_exec, plan_for

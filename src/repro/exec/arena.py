@@ -1,0 +1,146 @@
+"""Reusable solve workspaces: the zero-allocation arena.
+
+The engine's original hot path paid one ``np.zeros((n_s, m))`` per
+supernode per solve plus a fresh contribution array per node — small
+allocations whose cost dwarfs the arithmetic on fine-grained trees.  The
+arena removes them: every buffer a solve needs is sized once per
+``(program-or-plan, nrhs)`` and reused across solves.
+
+:class:`WorkspaceArena` is a thread-safe lease/return pool attached to a
+:class:`~repro.exec.cache.PreparedFactor`.  A solve *leases* a workspace
+(built on first use), runs both sweeps inside the lease, and returns it
+to the free list — so steady-state repeated solves allocate nothing,
+while concurrent solves against the same factor each get their own
+buffers and never race.
+
+Two workspace shapes live here:
+
+* :class:`EngineWorkspace` — flat per-node accumulator and contribution
+  arenas for the threaded engine, carved by :func:`build_engine_workspace`
+  from an :class:`~repro.exec.plan.ExecPlan` (per-node slices are disjoint,
+  so concurrent tasks write without synchronisation);
+* :class:`FusedWorkspace` — the level-sized scratch of the fused backend,
+  carved by :func:`build_fused_workspace` from a
+  :class:`~repro.exec.plan.LevelProgram` (one accumulator the size of the
+  widest level, one contribution arena for the whole tree, plus gather /
+  product / dot scratch at their program-wide maxima).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterator
+
+import numpy as np
+
+from repro.exec.plan import ExecPlan, LevelProgram
+
+
+class WorkspaceArena:
+    """Thread-safe lease/return pool of solve workspaces.
+
+    Workspaces are keyed by an arbitrary hashable (the backends use
+    ``(kind, id(plan-or-program), nrhs)``); :meth:`lease` pops a free one
+    or builds it via the caller's factory, and always returns it to the
+    free list afterwards — even when the solve raises, since every buffer
+    is fully rewritten by the next lease.  ``built``/``leases`` counters
+    make reuse observable for tests and cache stats.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._free: dict[Hashable, list[object]] = {}
+        self.built = 0
+        self.leases = 0
+
+    @contextmanager
+    def lease(self, key: Hashable, build: Callable[[], object]) -> Iterator[object]:
+        with self._lock:
+            stack = self._free.get(key)
+            ws = stack.pop() if stack else None
+            self.leases += 1
+        if ws is None:
+            ws = build()
+            with self._lock:
+                self.built += 1
+        try:
+            yield ws
+        finally:
+            with self._lock:
+                self._free.setdefault(key, []).append(ws)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "built": self.built,
+                "leases": self.leases,
+                "free": sum(len(v) for v in self._free.values()),
+            }
+
+
+# ------------------------------------------------------------------ engine
+@dataclass(frozen=True)
+class EngineWorkspace:
+    """Flat accumulator/contribution arenas for the threaded engine.
+
+    ``acc[acc_off[s]:acc_off[s+1]]`` is supernode *s*'s ``(n_s, m)``
+    accumulator; ``contrib[contrib_off[s]:contrib_off[s+1]]`` its
+    ``(n_s - t_s, m)`` contribution block.  Slices of distinct nodes are
+    disjoint, so concurrent tasks touch disjoint memory.
+    """
+
+    acc_off: np.ndarray
+    contrib_off: np.ndarray
+    acc: np.ndarray
+    contrib: np.ndarray
+
+
+def build_engine_workspace(plan: ExecPlan, m: int) -> EngineWorkspace:
+    """Size an :class:`EngineWorkspace` for *plan* at *m* right-hand sides."""
+    ns = len(plan.steps)
+    acc_off = np.zeros(ns + 1, dtype=np.int64)
+    contrib_off = np.zeros(ns + 1, dtype=np.int64)
+    for s, st in enumerate(plan.steps):
+        acc_off[s + 1] = acc_off[s] + st.n
+        contrib_off[s + 1] = contrib_off[s] + (st.n - st.t)
+    return EngineWorkspace(
+        acc_off=acc_off,
+        contrib_off=contrib_off,
+        acc=np.empty((int(acc_off[-1]), m)),
+        contrib=np.empty((int(contrib_off[-1]), m)),
+    )
+
+
+# ------------------------------------------------------------------ fused
+@dataclass(frozen=True)
+class FusedWorkspace:
+    """Scratch buffers for one fused solve at a fixed NRHS.
+
+    All are ``(rows, m)`` float64 blocks sized at the program-wide maxima;
+    each level uses leading slices.  ``contrib`` is the only tree-sized
+    buffer — it persists across levels because parents consume children's
+    contribution blocks from it.
+    """
+
+    acc: np.ndarray      # widest level's packed accumulator
+    contrib: np.ndarray  # whole-tree contribution arena
+    gather: np.ndarray   # scatter sources (forward) / x[below] rows (backward)
+    rep: np.ndarray      # width-1 replicated-solution / product buffer
+    wk: np.ndarray       # per-node GEMM output, max(nb, t) rows
+    top: np.ndarray      # backward top blocks, max(k1, t) rows
+    dot: np.ndarray      # width-1 backward reduceat output
+
+
+def build_fused_workspace(program: LevelProgram, m: int) -> FusedWorkspace:
+    """Size a :class:`FusedWorkspace` for *program* at *m* right-hand sides."""
+    return FusedWorkspace(
+        acc=np.empty((program.max_acc, m)),
+        contrib=np.empty((program.contrib_total, m)),
+        gather=np.empty((program.max_gather, m)),
+        rep=np.empty((program.max_rep, m)),
+        wk=np.empty((program.max_wk, m)),
+        top=np.empty((program.max_top, m)),
+        dot=np.empty((program.max_dot, m)),
+    )

@@ -20,9 +20,17 @@ engine never rebuilds what it can reuse:
   factor: contiguous diagonal/rectangle views of each trapezoid plus a
   one-time singularity screen, so a zero or non-finite diagonal raises a
   clean :class:`ValueError` *before* any task is dispatched (never a
-  wrong answer or a hung pool).
+  wrong answer or a hung pool).  Each prepared factor owns a
+  :class:`~repro.exec.arena.WorkspaceArena`, so the solve workspaces of
+  both real backends share the factor's lifetime and eviction.
+* :func:`program_for` caches the compiled
+  :class:`~repro.exec.plan.LevelProgram` per structure (programs are
+  grain-invariant, so one entry serves every grain), and
+  :func:`fused_certificate_for` its schedule certificate;
+  :func:`fused_panels_for` caches the packed width-1 panel values per
+  numeric factor.
 
-Both caches are thread-safe and observable (:func:`exec_cache_stats`),
+All caches are thread-safe and observable (:func:`exec_cache_stats`),
 and :func:`clear_exec_caches` resets them (tests, benchmarks).
 """
 
@@ -30,16 +38,24 @@ from __future__ import annotations
 
 import threading
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.exec.plan import DEFAULT_GRAIN, ExecPlan, build_plan
+from repro.exec.arena import WorkspaceArena
+from repro.exec.plan import (
+    DEFAULT_GRAIN,
+    ExecPlan,
+    LevelProgram,
+    build_plan,
+    compile_level_program,
+)
 from repro.numeric.supernodal import SupernodalFactor
 from repro.symbolic.stree import SupernodalTree
 
 if TYPE_CHECKING:
+    from repro.exec.fused import FusedPanels
     from repro.verify.schedule import ScheduleCertificate
 
 
@@ -85,6 +101,9 @@ class _IdentityCache:
 _PLANS = _IdentityCache("plans")
 _PREPARED = _IdentityCache("prepared")
 _CERTS = _IdentityCache("certs")
+_PROGRAMS = _IdentityCache("programs")
+_FUSED_CERTS = _IdentityCache("fused-certs")
+_PANELS = _IdentityCache("panels")
 
 
 def plan_for(
@@ -141,10 +160,15 @@ class PreparedFactor:
     ``s`` — both C-contiguous views into the factor's trapezoids (no data
     is copied).  Construction validates every diagonal entry, so holding a
     ``PreparedFactor`` certifies the factor is cleanly solvable.
+
+    ``arena`` pools the solve workspaces of every backend that runs
+    against this factor; it lives and dies with the prepared factor, so
+    repeated solves reuse buffers and eviction frees them together.
     """
 
     diag: list[np.ndarray]
     rect: list[np.ndarray]
+    arena: WorkspaceArena = field(default_factory=WorkspaceArena, repr=False)
 
 
 def _prepare(factor: SupernodalFactor) -> PreparedFactor:
@@ -176,15 +200,71 @@ def prepare_factor(factor: SupernodalFactor) -> PreparedFactor:
     return prep  # type: ignore[return-value]
 
 
+def program_for(stree: SupernodalTree, *, certify: bool = False) -> LevelProgram:
+    """The cached fused :class:`LevelProgram` for *stree*.
+
+    Level programs depend only on the symbolic structure (they are
+    grain-invariant), so one cached entry serves every grain.  With
+    ``certify=True`` the program must additionally pass the fused
+    schedule certifier (:func:`fused_certificate_for`) before it is
+    handed out.
+    """
+    key = ("program", id(stree))
+    prog = _PROGRAMS.lookup(stree, key)
+    if prog is None:
+        prog = compile_level_program(plan_for(stree))
+        _PROGRAMS.store(stree, key, prog)
+    if certify:
+        fused_certificate_for(stree).report.raise_if_errors(
+            "fused level program failed schedule certification"
+        )
+    return prog  # type: ignore[return-value]
+
+
+def fused_certificate_for(stree: SupernodalTree) -> "ScheduleCertificate":
+    """The cached schedule certificate for *stree*'s fused level program.
+
+    The certificate carries the *plan's* canonical digest — certifying
+    the program means proving it is a faithful, race-free re-layout of
+    the same schedule, so fused solves earn the identical certificate
+    the threaded backend does.
+    """
+    key = ("fused-cert", id(stree))
+    cert = _FUSED_CERTS.lookup(stree, key)
+    if cert is None:
+        from repro.verify.schedule import certify_level_program
+
+        cert = certify_level_program(program_for(stree), plan_for(stree), stree)
+        _FUSED_CERTS.store(stree, key, cert)
+    return cert  # type: ignore[return-value]
+
+
+def fused_panels_for(factor: SupernodalFactor) -> "FusedPanels":
+    """The cached packed width-1 panel values of *factor* (built once)."""
+    key = ("panels", id(factor))
+    panels = _PANELS.lookup(factor, key)
+    if panels is None:
+        from repro.exec.fused import build_fused_panels
+
+        panels = build_fused_panels(
+            program_for(factor.stree), prepare_factor(factor)
+        )
+        _PANELS.store(factor, key, panels)
+    return panels  # type: ignore[return-value]
+
+
 def clear_exec_caches() -> None:
-    """Drop all cached plans, prepared factors and certificates."""
+    """Drop all cached plans, programs, prepared factors and certificates."""
     _PLANS.clear()
     _PREPARED.clear()
     _CERTS.clear()
+    _PROGRAMS.clear()
+    _FUSED_CERTS.clear()
+    _PANELS.clear()
 
 
 def exec_cache_stats() -> dict[str, int]:
-    """Hit/miss/size counters for all three caches."""
+    """Hit/miss/size counters for all six caches."""
     return {
         "plan_hits": _PLANS.hits,
         "plan_misses": _PLANS.misses,
@@ -195,4 +275,13 @@ def exec_cache_stats() -> dict[str, int]:
         "cert_hits": _CERTS.hits,
         "cert_misses": _CERTS.misses,
         "cert_entries": len(_CERTS),
+        "program_hits": _PROGRAMS.hits,
+        "program_misses": _PROGRAMS.misses,
+        "program_entries": len(_PROGRAMS),
+        "fused_cert_hits": _FUSED_CERTS.hits,
+        "fused_cert_misses": _FUSED_CERTS.misses,
+        "fused_cert_entries": len(_FUSED_CERTS),
+        "panels_hits": _PANELS.hits,
+        "panels_misses": _PANELS.misses,
+        "panels_entries": len(_PANELS),
     }

@@ -26,6 +26,14 @@ computes ``contrib[s] = acc[t:] - R_s @ solved`` over its below-rows and
 the parent scatters it through plan-precomputed indices.  Backward
 substitution needs no reduction at all: node ``s`` gathers already-solved
 ancestor entries ``x[below]`` and solves its transposed triangle.
+
+Accumulator and contribution blocks live in a flat
+:class:`~repro.exec.arena.EngineWorkspace` leased from the prepared
+factor's arena — per-node slices are disjoint, so tasks stay
+synchronisation-free while repeated solves stop paying a
+``np.zeros((n_s, m))`` per node.  All dense math goes through the
+canonical kernels in :mod:`repro.numeric.kernels`, which is what keeps
+the engine bitwise identical to the serial walker and the fused backend.
 """
 
 from __future__ import annotations
@@ -36,10 +44,11 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Callable, Sequence
 
 import numpy as np
-from scipy.linalg.blas import dtrsm
 
+from repro.exec.arena import build_engine_workspace
 from repro.exec.cache import PreparedFactor, plan_for, prepare_factor
 from repro.exec.plan import DEFAULT_GRAIN, ExecPlan
+from repro.numeric.kernels import solve_lower, solve_lower_t, unit_dot
 from repro.numeric.supernodal import SupernodalFactor
 from repro.numeric.trisolve import as_rhs_matrix
 from repro.util.validation import require
@@ -81,13 +90,16 @@ def _run_task_graph(
     dependents: Sequence[Sequence[int]],
     body: Callable[[int], None],
     workers: int,
+    pool: ThreadPoolExecutor | None = None,
 ) -> None:
     """Run ``body(i)`` for every task, honouring the dependency counts.
 
     ``workers == 1`` runs inline (no pool) in deterministic topological
-    order.  With a pool, a failing task stops further submission, the
-    already-running tasks drain, and the failure with the smallest task
-    index is re-raised — the pool can never deadlock on an exception
+    order.  Otherwise tasks are submitted to *pool* — owned by the caller
+    so one executor serves both sweeps of a solve; when ``pool is None`` a
+    temporary one is created.  A failing task stops further submission,
+    the already-running tasks drain, and the failure with the smallest
+    task index is re-raised — the pool can never deadlock on an exception
     because nothing waits on a task that was never submitted.
     """
     if ntasks == 0:
@@ -111,24 +123,28 @@ def _run_task_graph(
                 "task graph stalled before completing — dependency cycle")
         return
 
+    if pool is None:
+        with ThreadPoolExecutor(max_workers=workers) as owned:
+            _run_task_graph(ntasks, ndeps, dependents, body, workers, pool=owned)
+        return
+
     failures: list[tuple[int, BaseException]] = []
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        pending = {pool.submit(body, i): i for i in ready}
-        while pending:
-            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
-            for fut in done:
-                i = pending.pop(fut)
-                exc = fut.exception()
-                if exc is not None:
-                    failures.append((i, exc))
-                    continue
-                executed += 1
-                if failures:
-                    continue  # drain only; schedule nothing downstream
-                for d in dependents[i]:
-                    counts[d] -= 1
-                    if counts[d] == 0:
-                        pending[pool.submit(body, d)] = d
+    pending = {pool.submit(body, i): i for i in ready}
+    while pending:
+        done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+        for fut in done:
+            i = pending.pop(fut)
+            exc = fut.exception()
+            if exc is not None:
+                failures.append((i, exc))
+                continue
+            executed += 1
+            if failures:
+                continue  # drain only; schedule nothing downstream
+            for d in dependents[i]:
+                counts[d] -= 1
+                if counts[d] == 0:
+                    pending[pool.submit(body, d)] = d
     if failures:
         failures.sort(key=lambda pair: pair[0])
         raise failures[0][1]
@@ -138,44 +154,54 @@ def _run_task_graph(
 
 # ------------------------------------------------------------------ sweeps
 def _forward_mat(
-    plan: ExecPlan, prep: PreparedFactor, y: np.ndarray, workers: int
+    plan: ExecPlan,
+    prep: PreparedFactor,
+    y: np.ndarray,
+    workers: int,
+    pool: ThreadPoolExecutor | None = None,
 ) -> np.ndarray:
     """In-place forward elimination ``L y = b`` over the (n, m) block."""
     m = y.shape[1]
     steps = plan.steps
     diag, rect = prep.diag, prep.rect
-    nsuper = len(steps)
-    contrib: list[np.ndarray | None] = [None] * nsuper
 
-    def run_task(ti: int) -> None:
-        for s in plan.tasks[ti].nodes:
-            st = steps[s]
-            t = st.t
-            acc = np.zeros((st.n, m))
-            if t:
-                acc[:t] = y[st.col_lo:st.col_hi]
-            for c, idx in zip(st.children, st.child_scatter):
-                u = contrib[c]
-                if u is not None:
-                    if u.size:
-                        acc[idx] += u
-                    contrib[c] = None
-            if t:
-                top = acc[:t]
-                solved = top / diag[s][0, 0] if t == 1 else dtrsm(1.0, diag[s], top, lower=1)
-                y[st.col_lo:st.col_hi] = solved
-                if st.n > t:
-                    contrib[s] = acc[t:] - rect[s] @ solved
-            elif st.n:
-                contrib[s] = acc
+    with prep.arena.lease(
+        ("engine", id(plan), m), lambda: build_engine_workspace(plan, m)
+    ) as ws:
+        acc_off, con_off = ws.acc_off, ws.contrib_off
 
-    ndeps, dependents = plan.forward_deps()
-    _run_task_graph(plan.ntasks, ndeps, dependents, run_task, workers)
+        def run_task(ti: int) -> None:
+            for s in plan.tasks[ti].nodes:
+                st = steps[s]
+                t = st.t
+                acc = ws.acc[acc_off[s]:acc_off[s + 1]]
+                acc[t:] = 0.0
+                if t:
+                    acc[:t] = y[st.col_lo:st.col_hi]
+                for c, idx in zip(st.children, st.child_scatter):
+                    c0, c1 = con_off[c], con_off[c + 1]
+                    if c1 > c0:
+                        acc[idx] += ws.contrib[c0:c1]
+                if t:
+                    solved = solve_lower(diag[s], acc[:t])
+                    y[st.col_lo:st.col_hi] = solved
+                    if st.n > t:
+                        np.subtract(acc[t:], rect[s] @ solved,
+                                    out=ws.contrib[con_off[s]:con_off[s + 1]])
+                elif st.n:
+                    ws.contrib[con_off[s]:con_off[s + 1]] = acc
+
+        ndeps, dependents = plan.forward_deps()
+        _run_task_graph(plan.ntasks, ndeps, dependents, run_task, workers, pool)
     return y
 
 
 def _backward_mat(
-    plan: ExecPlan, prep: PreparedFactor, x: np.ndarray, workers: int
+    plan: ExecPlan,
+    prep: PreparedFactor,
+    x: np.ndarray,
+    workers: int,
+    pool: ThreadPoolExecutor | None = None,
 ) -> np.ndarray:
     """In-place backward substitution ``L^T x = y`` over the (n, m) block."""
     steps = plan.steps
@@ -189,14 +215,12 @@ def _backward_mat(
                 continue
             top = x[st.col_lo:st.col_hi]
             if st.n > t:
-                top = top - rect[s].T @ x[st.below]
-            x[st.col_lo:st.col_hi] = (
-                top / diag[s][0, 0] if t == 1
-                else dtrsm(1.0, diag[s], top, lower=1, trans_a=1)
-            )
+                xg = x[st.below]
+                top = top - (unit_dot(rect[s], xg) if t == 1 else rect[s].T @ xg)
+            x[st.col_lo:st.col_hi] = solve_lower_t(diag[s], top)
 
     ndeps, dependents = plan.backward_deps()
-    _run_task_graph(plan.ntasks, ndeps, dependents, run_task, workers)
+    _run_task_graph(plan.ntasks, ndeps, dependents, run_task, workers, pool)
     return x
 
 
@@ -247,11 +271,20 @@ def solve_exec(
     grain: int = DEFAULT_GRAIN,
     plan: ExecPlan | None = None,
 ) -> np.ndarray:
-    """Full ``A x = b`` solve (forward then backward) on the engine."""
+    """Full ``A x = b`` solve (forward then backward) on the engine.
+
+    One :class:`~concurrent.futures.ThreadPoolExecutor` serves both
+    sweeps — the pool is created once per call, not once per sweep.
+    """
     workers_n = resolve_workers(workers)
     plan = plan if plan is not None else plan_for(factor.stree, grain=grain)
     prep = prepare_factor(factor)
     x, squeeze = as_rhs_matrix(b, factor.n)
-    _forward_mat(plan, prep, x, workers_n)
-    _backward_mat(plan, prep, x, workers_n)
+    if workers_n == 1:
+        _forward_mat(plan, prep, x, workers_n)
+        _backward_mat(plan, prep, x, workers_n)
+    else:
+        with ThreadPoolExecutor(max_workers=workers_n) as pool:
+            _forward_mat(plan, prep, x, workers_n, pool)
+            _backward_mat(plan, prep, x, workers_n, pool)
     return x[:, 0] if squeeze else x

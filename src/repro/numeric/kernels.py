@@ -1,0 +1,65 @@
+"""Canonical dense solve kernels shared by every real backend.
+
+The repo has three real executions of the triangular solves — the serial
+supernodal walker (:mod:`repro.numeric.trisolve`), the threaded engine
+(:mod:`repro.exec.engine`) and the fused level program
+(:mod:`repro.exec.fused`).  All three promise *bitwise identical*
+solutions, which is only possible if every floating-point operation is
+performed by the same kernel on the same operands in the same order.
+This module is that single source of truth:
+
+* :func:`solve_lower` / :func:`solve_lower_t` — the ``t x t`` diagonal
+  solve.  Width-1 panels use an elementwise divide (the op the fused
+  backend applies to a whole level of width-1 panels at once); wider
+  panels call BLAS ``dtrsm`` directly, never LAPACK ``trtrs`` or a
+  hand-rolled sweep, so the rounding of the triangular solve is the
+  same function of the values everywhere.
+* :func:`unit_dot` — the backward-substitution inner product of a
+  width-1 panel, summed *sequentially in ascending row order* via
+  ``np.add.reduceat``.  A BLAS ``dot`` may reassociate the sum, and the
+  fused backend reduces whole levels with one ``reduceat`` call — so the
+  per-node path must use the identical reduction.
+
+Anything not covered here (elementwise adds/subtracts/multiplies, the
+``rect @ solved`` GEMM on identical operands) is bitwise reproducible by
+construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg.blas import dtrsm
+
+#: The single-segment index set for :func:`unit_dot`'s ``reduceat``.
+_SEG0 = np.zeros(1, dtype=np.intp)
+
+
+def solve_lower(diag: np.ndarray, top: np.ndarray) -> np.ndarray:
+    """Solve ``diag @ solved = top`` with *diag* dense lower triangular.
+
+    ``top`` is the ``(t, m)`` right-hand-side block; the result is a new
+    array (``top`` is never modified).  Width-1 panels are a scalar
+    divide — exactly the op the fused backend broadcasts over a level.
+    """
+    if diag.shape[0] == 1:
+        return top / diag[0, 0]
+    return dtrsm(1.0, diag, top, lower=1)
+
+
+def solve_lower_t(diag: np.ndarray, top: np.ndarray) -> np.ndarray:
+    """Solve ``diag.T @ solved = top`` (the backward-substitution twin)."""
+    if diag.shape[0] == 1:
+        return top / diag[0, 0]
+    return dtrsm(1.0, diag, top, lower=1, trans_a=1)
+
+
+def unit_dot(rect: np.ndarray, xg: np.ndarray) -> np.ndarray:
+    """``rect.T @ xg`` for a width-1 rectangle, summed in row order.
+
+    *rect* is ``(nb, 1)``, *xg* the gathered ancestor rows ``(nb, m)``;
+    returns the ``(1, m)`` dot.  The products are reduced by
+    ``np.add.reduceat`` over one segment — the same reduction the fused
+    backend applies per segment of a level-wide product buffer, so the
+    two paths agree bitwise (a BLAS ``dot`` would not).
+    """
+    return np.add.reduceat(rect * xg, _SEG0, axis=0)

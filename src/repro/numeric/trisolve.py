@@ -4,10 +4,11 @@ Implements Section 2 of the paper in its sequential form:
 
 * **Forward** (``L y = b``): leaves to root.  At each supernode, gather the
   right-hand-side entries of the supernode's ``t`` columns into the top of
-  a length-``n`` work vector (the rest starts at zero and accumulates child
-  contributions), solve the dense ``t x t`` triangle, multiply the
-  ``(n-t) x t`` rectangle by the solved top and subtract into the bottom,
-  then scatter the bottom into the parent's accumulation.
+  a length-``n`` work vector, reduce the children's contribution blocks
+  into it (ascending child order), solve the dense ``t x t`` triangle,
+  multiply the ``(n-t) x t`` rectangle by the solved top and subtract it
+  from the bottom — that bottom block is this node's contribution, passed
+  up the assembly tree for the parent to scatter in.
 * **Backward** (``L^T x = y``): root to leaves.  At each supernode, gather
   the bottom ``n - t`` entries from already-solved ancestor variables,
   subtract ``R^T`` times the bottom from the top, and solve the transposed
@@ -15,6 +16,13 @@ Implements Section 2 of the paper in its sequential form:
 
 For ``m`` right-hand sides every vector op becomes the corresponding
 ``(· x m)`` matrix op — exactly the paper's NRHS generalisation.
+
+The forward sweep deliberately uses the *hierarchical contribution* form
+(per-node accumulators reduced in ascending child order) rather than
+scattering each rectangle straight into ``y``: that is the one summation
+order every schedule of the parallel backends can reproduce, so serial,
+threaded and fused results are **bitwise identical** — same canonical
+kernels (:mod:`repro.numeric.kernels`), same operands, same order.
 Simplicial variants over :class:`LowerCSC` serve as independent references.
 """
 
@@ -22,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.numeric.frontal import trsm_lower, trsm_lower_t
+from repro.numeric.kernels import solve_lower, solve_lower_t, unit_dot
 from repro.numeric.supernodal import SupernodalFactor
 from repro.sparse.csc import LowerCSC
 
@@ -78,18 +86,28 @@ def forward_supernodal(f: SupernodalFactor, b: np.ndarray) -> np.ndarray:
     """Supernodal forward elimination ``L y = b`` (leaves -> root)."""
     y, squeeze = _as_matrix(b, f.n)
     stree = f.stree
+    m = y.shape[1]
+    contrib: list[np.ndarray | None] = [None] * stree.nsuper
     for s in stree.topo_order():
         sn = stree.supernodes[s]
         block = f.blocks[s]
         t = sn.t
-        top = y[sn.col_lo : sn.col_hi]
-        solved = trsm_lower(block[:t, :t], top)
-        y[sn.col_lo : sn.col_hi] = solved
-        if sn.n > t:
-            # Subtract the rectangle's contribution directly into the
-            # ancestor entries of y (they are solved later, so this is the
-            # "collect contributions at the parent" step of the paper).
-            y[sn.below] -= block[t:, :] @ solved
+        acc = np.zeros((sn.n, m))
+        if t:
+            acc[:t] = y[sn.col_lo : sn.col_hi]
+        for c in stree.children[s]:
+            u = contrib[c]
+            if u is not None:
+                if u.size:
+                    acc[np.searchsorted(sn.rows, stree.supernodes[c].below)] += u
+                contrib[c] = None
+        if t:
+            solved = solve_lower(block[:t, :t], acc[:t])
+            y[sn.col_lo : sn.col_hi] = solved
+            if sn.n > t:
+                contrib[s] = acc[t:] - block[t:, :t] @ solved
+        elif sn.n:
+            contrib[s] = acc
     return y[:, 0] if squeeze else y
 
 
@@ -101,10 +119,14 @@ def backward_supernodal(f: SupernodalFactor, b: np.ndarray) -> np.ndarray:
         sn = stree.supernodes[s]
         block = f.blocks[s]
         t = sn.t
+        if not t:
+            continue
         top = x[sn.col_lo : sn.col_hi]
         if sn.n > t:
-            top = top - block[t:, :].T @ x[sn.below]
-        x[sn.col_lo : sn.col_hi] = trsm_lower_t(block[:t, :t], top)
+            rect = block[t:, :t]
+            xg = x[sn.below]
+            top = top - (unit_dot(rect, xg) if t == 1 else rect.T @ xg)
+        x[sn.col_lo : sn.col_hi] = solve_lower_t(block[:t, :t], top)
     return x[:, 0] if squeeze else x
 
 

@@ -210,6 +210,27 @@ def _plan_permuted_reduction() -> Report:
     return _certify(dataclasses.replace(plan, steps=steps), stree)
 
 
+def _program_swapped_scatter() -> Report:
+    # Swap two entries of a level's flattened scatter-source vector: every
+    # contribution row still lands exactly once, but two child rows trade
+    # places — silently wrong values with a structurally plausible layout.
+    from repro.exec.plan import compile_level_program
+    from repro.verify.schedule import certify_level_program
+
+    plan, stree = _plan_and_tree()
+    program = compile_level_program(plan)
+    li = next(
+        i for i, lvl in enumerate(program.levels) if lvl.scatter_src.size >= 2
+    )
+    lvl = program.levels[li]
+    src = lvl.scatter_src.copy()
+    src[0], src[1] = src[1], src[0]
+    levels = list(program.levels)
+    levels[li] = dataclasses.replace(lvl, scatter_src=src)
+    mutated = dataclasses.replace(program, levels=tuple(levels))
+    return certify_level_program(mutated, plan, stree).report
+
+
 _BAD_SOURCE = '''\
 import numpy as np
 import os
@@ -307,6 +328,12 @@ def known_bad_cases() -> list[BadCase]:
             "a child reduction list out of ascending order — nondeterministic sums",
             frozenset({"schedule-reduction-order"}),
             _plan_permuted_reduction,
+        ),
+        BadCase(
+            "program-swapped-scatter",
+            "a fused level program whose scatter replays child rows out of place",
+            frozenset({"schedule-program-scatter"}),
+            _program_swapped_scatter,
         ),
         BadCase(
             "forbidden-source-constructs",

@@ -135,11 +135,18 @@ def run_schedule_certification() -> Report:
     an independent rebuild of the same plan (``schedule-cert-unstable``
     otherwise).  This is the static counterpart of the runtime test that
     solves are bitwise identical across worker counts.
+
+    The fused backend's :class:`~repro.exec.plan.LevelProgram` compiled
+    from each plan must certify clean too
+    (:func:`~repro.verify.schedule.certify_level_program`), and its
+    certificate digest must equal the plan's — one structure, one
+    determinism certificate, for every backend and every grain
+    (``schedule-cert-divergent`` otherwise).
     """
-    from repro.exec.plan import build_plan
+    from repro.exec.plan import build_plan, compile_level_program
     from repro.sparse.generators import grid2d_laplacian, grid3d_laplacian
     from repro.symbolic.analyze import analyze
-    from repro.verify.schedule import certify_plan
+    from repro.verify.schedule import certify_level_program, certify_plan
 
     report = Report()
     battery = [
@@ -173,6 +180,24 @@ def run_schedule_certification() -> Report:
                     f"{label}: determinism certificate differs across nrhs or "
                     f"across plan rebuilds ({sorted(digests)}) — the hash is "
                     "not a pure function of the structure",
+                    location=label,
+                )
+            fused = certify_level_program(
+                compile_level_program(plan), plan, sym.stree, name=label
+            )
+            for f in fused.report:
+                report.add(
+                    f.rule,
+                    f"[fused] {f.message}",
+                    location=f.location,
+                    severity=f.severity,
+                )
+            if fused.digest not in digests:
+                report.add(
+                    "schedule-cert-divergent",
+                    f"{label}: the fused level program's certificate digest "
+                    "differs from its plan's — the program is not a certified "
+                    "re-layout of the schedule",
                     location=label,
                 )
     return report

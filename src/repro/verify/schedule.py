@@ -27,6 +27,15 @@ properties the engine's docstrings promise:
    the task topology, so two runs (any worker counts) can be checked
    for schedule equivalence by comparing two hex strings.
 
+:func:`certify_level_program` extends the proof to the fused backend's
+:class:`~repro.exec.plan.LevelProgram`: the program's flat index vectors
+(accumulator layout, width-1 lane, contribution scatter, backward
+gather) are decoded back against the plan's steps — rules prefixed
+``schedule-program-`` — and the plan's effect summaries, re-tasked onto
+the level chain, are crossed against the chain's happens-before.  A
+certified program earns its plan's digest: the fused and threaded
+backends provably execute the same schedule.
+
 Findings use the shared :class:`~repro.verify.findings.Report`
 machinery; rules are prefixed ``schedule-``.
 """
@@ -47,12 +56,13 @@ from repro.verify.effects import (
     effect_conflicts,
     format_index_set,
     forward_effects,
+    level_effects,
 )
 from repro.verify.findings import Report
 from repro.util.validation import require
 
 if TYPE_CHECKING:
-    from repro.exec.plan import ExecPlan
+    from repro.exec.plan import ExecPlan, LevelProgram
     from repro.symbolic.stree import SupernodalTree
 
 #: Bumped whenever the canonical serialization behind the digest changes.
@@ -377,27 +387,23 @@ def _guaranteed_reachability(
 
 def _check_phase_races(
     phase: str,
-    plan: "ExecPlan",
+    ntasks: int,
+    pos: dict[int, int],
     effects: list[Effect],
     ndeps: Sequence[int],
     dependents: Sequence[Sequence[int]],
     report: Report,
     name: str,
 ) -> None:
-    """Prove every conflicting effect pair of one sweep is ordered."""
-    reach = _guaranteed_reachability(
-        plan.ntasks, ndeps, dependents, report, name, phase
-    )
+    """Prove every conflicting effect pair of one sweep is ordered.
+
+    ``pos`` gives each node's program order *inside* its task (used for
+    the within-task stale-read direction check); cross-task ordering
+    comes from the guaranteed dependency edges alone.
+    """
+    reach = _guaranteed_reachability(ntasks, ndeps, dependents, report, name, phase)
     if reach is None:
         return
-
-    # Program order inside a task: the forward sweep walks nodes
-    # ascending, the backward sweep descending.
-    pos: dict[int, int] = {}
-    for task in plan.tasks:
-        nodes = task.nodes if phase == "forward" else tuple(reversed(task.nodes))
-        for k, s in enumerate(nodes):
-            pos[s] = k
 
     loc = f"{name}/{phase}"
     for a, b, overlap in effect_conflicts(effects):
@@ -470,15 +476,25 @@ def certify_plan(
     if stree is not None:
         _check_tree(plan, stree, report, name)
 
+    # Program order inside a task: the forward sweep walks nodes
+    # ascending, the backward sweep descending.
+    fwd_pos: dict[int, int] = {}
+    bwd_pos: dict[int, int] = {}
+    for task in plan.tasks:
+        for k, s in enumerate(task.nodes):
+            fwd_pos[s] = k
+        for k, s in enumerate(reversed(task.nodes)):
+            bwd_pos[s] = k
+
     fwd_ndeps, fwd_dependents = plan.forward_deps()
     _check_phase_races(
-        "forward", plan, forward_effects(plan), fwd_ndeps, fwd_dependents,
-        report, name,
+        "forward", plan.ntasks, fwd_pos, forward_effects(plan),
+        fwd_ndeps, fwd_dependents, report, name,
     )
     bwd_ndeps, bwd_dependents = plan.backward_deps()
     _check_phase_races(
-        "backward", plan, backward_effects(plan), bwd_ndeps, bwd_dependents,
-        report, name,
+        "backward", plan.ntasks, bwd_pos, backward_effects(plan),
+        bwd_ndeps, bwd_dependents, report, name,
     )
     return ScheduleCertificate(
         digest=plan_digest(plan),
@@ -488,9 +504,473 @@ def certify_plan(
     )
 
 
+# ------------------------------------------------------- level programs
+def _program_members(program: "LevelProgram", li: int) -> list[int]:
+    """Every supernode a level's execution actually touches, ascending."""
+    lvl = program.levels[li]
+    members: list[int] = []
+    if lvl.ones is not None:
+        members.extend(int(s) for s in lvl.ones.nodes)
+    for g in lvl.groups:
+        members.extend(int(s) for s in g.nodes)
+    return sorted(members)
+
+
+def _check_program_structure(
+    program: "LevelProgram", plan: "ExecPlan", report: Report, name: str
+) -> None:
+    """Decode the program against the plan it claims to compile.
+
+    The fused executor trusts the program's flat index vectors blindly —
+    this check re-derives, from the plan's steps alone, what every vector
+    must contain, so a mutated layout, scatter, gather or lane can never
+    certify.  Nothing here consults ``compile_level_program``: the
+    compiler's output is judged against the plan, not against itself.
+    """
+    steps = plan.steps
+    ns = len(steps)
+    loc0 = f"{name}/program"
+    if program.nsuper != ns or len(program.levels) != (
+        int(plan.node_level.max()) + 1 if ns else 0
+    ):
+        report.add(
+            "schedule-program-shape",
+            f"program covers {program.nsuper} supernodes in "
+            f"{len(program.levels)} levels but the plan has {ns} supernodes",
+            location=loc0,
+        )
+        return
+    if not np.array_equal(program.node_level, plan.node_level):
+        report.add(
+            "schedule-program-shape",
+            "program's node levels differ from the plan's bottom-up levels",
+            location=loc0,
+        )
+        return
+
+    # The level barrier is the program's only ordering device: every
+    # child must sit strictly below its parent or the contribution
+    # hand-off happens inside one unordered level.
+    lvl_of = program.node_level
+    for st in steps:
+        for c in st.children:
+            if int(lvl_of[c]) >= int(lvl_of[st.s]):
+                report.add(
+                    "schedule-program-level",
+                    f"child {c} (level {int(lvl_of[c])}) is not strictly below "
+                    f"its parent {st.s} (level {int(lvl_of[st.s])}) — the level "
+                    "barrier cannot order their contribution hand-off",
+                    location=loc0,
+                )
+
+    # Membership: levels must partition the supernodes, each node listed
+    # in the level node_level assigns it to.
+    owner = np.full(ns, -1, dtype=np.int64)
+    clean = True
+    for lvl in program.levels:
+        for s in _program_members(program, lvl.index):
+            if s < 0 or s >= ns:
+                report.add(
+                    "schedule-program-partition",
+                    f"level {lvl.index} lists unknown supernode {s}",
+                    location=loc0,
+                )
+                clean = False
+                continue
+            if owner[s] != -1:
+                report.add(
+                    "schedule-program-partition",
+                    f"supernode {s} appears in levels {int(owner[s])} "
+                    f"and {lvl.index}",
+                    location=loc0,
+                )
+                clean = False
+            owner[s] = lvl.index
+            if int(lvl_of[s]) != lvl.index:
+                report.add(
+                    "schedule-program-partition",
+                    f"supernode {s} executes in level {lvl.index} but "
+                    f"node_level places it at {int(lvl_of[s])}",
+                    location=loc0,
+                )
+                clean = False
+    missing = np.flatnonzero(owner == -1)
+    if missing.size:
+        report.add(
+            "schedule-program-partition",
+            f"supernodes {missing.tolist()} appear in no level — never solved",
+            location=loc0,
+        )
+        clean = False
+    if not clean:
+        return  # the per-level decodes below would only cascade
+
+    # Contribution arena: the per-node slices must tile [0, contrib_total).
+    regions = sorted(
+        (int(program.contrib_off[s]), steps[s].n - steps[s].t)
+        for s in range(ns)
+        if steps[s].n - steps[s].t > 0
+    )
+    cursor = 0
+    for start, length in regions:
+        if start != cursor:
+            report.add(
+                "schedule-program-contrib",
+                f"contribution slices {'overlap' if start < cursor else 'leave a gap'} "
+                f"at arena row {min(start, cursor)}",
+                location=loc0,
+            )
+            break
+        cursor += length
+    else:
+        if cursor != program.contrib_total:
+            report.add(
+                "schedule-program-contrib",
+                f"contribution slices end at row {cursor} but the arena "
+                f"declares {program.contrib_total}",
+                location=loc0,
+            )
+
+    for lvl in program.levels:
+        loc = f"{name}/program level {lvl.index}"
+        members = _program_members(program, lvl.index)
+        ones = lvl.ones
+
+        # --- accumulator layout: per-node intervals must tile [0, size),
+        # tops inside [0, top_total), belows after it.
+        intervals: list[tuple[int, int]] = []
+        layout_ok = True
+        for s in members:
+            st = steps[s]
+            if st.t:
+                to = int(program.node_top_off[s])
+                if to < 0 or to + st.t > lvl.top_total:
+                    report.add(
+                        "schedule-program-layout",
+                        f"supernode {s}'s top block [{to}, {to + st.t}) falls "
+                        f"outside the level's top region [0, {lvl.top_total})",
+                        location=loc,
+                    )
+                    layout_ok = False
+                intervals.append((to, st.t))
+            nb = st.n - st.t
+            if nb:
+                bo = int(program.node_below_off[s])
+                if bo < lvl.top_total or bo + nb > lvl.size:
+                    report.add(
+                        "schedule-program-layout",
+                        f"supernode {s}'s below block [{bo}, {bo + nb}) falls "
+                        f"outside the level's below region "
+                        f"[{lvl.top_total}, {lvl.size})",
+                        location=loc,
+                    )
+                    layout_ok = False
+                intervals.append((bo, nb))
+        if layout_ok:
+            intervals.sort()
+            cursor = 0
+            for start, length in intervals:
+                if start != cursor:
+                    report.add(
+                        "schedule-program-layout",
+                        f"level accumulator rows "
+                        f"{'overlap' if start < cursor else 'are unused'} at "
+                        f"row {min(start, cursor)} — panels must tile the level",
+                        location=loc,
+                    )
+                    layout_ok = False
+                    break
+                cursor += length
+            if layout_ok and cursor != lvl.size:
+                report.add(
+                    "schedule-program-layout",
+                    f"level panels end at accumulator row {cursor} but the "
+                    f"level declares size {lvl.size}",
+                    location=loc,
+                )
+                layout_ok = False
+
+        # --- the width-1 lane's vectorized arrays.
+        if ones is not None:
+            kb = ones.k_below
+            counts: list[int] = []
+            lane_ok = kb <= ones.k
+            if not lane_ok:
+                report.add(
+                    "schedule-program-lane",
+                    f"lane declares {kb} below-owning nodes out of {ones.k}",
+                    location=loc,
+                )
+            for i in range(ones.k):
+                s = int(ones.nodes[i])
+                st = steps[s]
+                nb = st.n - st.t
+                if st.t != 1:
+                    report.add(
+                        "schedule-program-lane",
+                        f"supernode {s} (panel width {st.t}) sits in the "
+                        "width-1 lane",
+                        location=loc,
+                    )
+                    lane_ok = False
+                    continue
+                if int(program.node_top_off[s]) != i or int(ones.cols[i]) != st.col_lo:
+                    report.add(
+                        "schedule-program-lane",
+                        f"lane node {s} maps to accumulator row "
+                        f"{int(program.node_top_off[s])} / column "
+                        f"{int(ones.cols[i])}, expected row {i} / column "
+                        f"{st.col_lo}",
+                        location=loc,
+                    )
+                    lane_ok = False
+                if i < kb:
+                    if nb == 0:
+                        report.add(
+                            "schedule-program-lane",
+                            f"lane node {s} has no below-rows but sits in the "
+                            f"leading k_below={kb} segment",
+                            location=loc,
+                        )
+                        lane_ok = False
+                    counts.append(nb)
+                elif nb:
+                    report.add(
+                        "schedule-program-lane",
+                        f"lane node {s} has {nb} below-rows but sits after "
+                        "the k_below split — its contribution would be lost",
+                        location=loc,
+                    )
+                    lane_ok = False
+            if lane_ok:
+                carr = np.array(counts, dtype=np.int64)
+                exp_starts = (
+                    np.concatenate(([0], np.cumsum(carr)[:-1])) if kb
+                    else np.empty(0, dtype=np.int64)
+                )
+                exp_rep = np.repeat(np.arange(kb, dtype=np.int64), carr)
+                exp_below = (
+                    np.concatenate(
+                        [steps[int(ones.nodes[i])].below for i in range(kb)]
+                    ).astype(np.int64) if kb else np.empty(0, dtype=np.int64)
+                )
+                if (
+                    not np.array_equal(ones.seg_starts, exp_starts)
+                    or not np.array_equal(ones.rep_idx, exp_rep)
+                    or not np.array_equal(ones.below_rows, exp_below)
+                ):
+                    report.add(
+                        "schedule-program-lane",
+                        "lane segment starts / owner indices / below rows do "
+                        "not decode to the plan's width-1 panels — the "
+                        "vectorized reduceat would sum the wrong segments",
+                        location=loc,
+                    )
+                for i in range(kb):
+                    s = int(ones.nodes[i])
+                    if int(program.contrib_off[s]) != ones.contrib_lo + int(
+                        exp_starts[i]
+                    ):
+                        report.add(
+                            "schedule-program-lane",
+                            f"lane node {s}'s contribution slice is not "
+                            "contiguous with the lane's — the one-subtract "
+                            "contribution write would land elsewhere",
+                            location=loc,
+                        )
+                        break
+
+        # --- bucket arrays must restate the plan's per-node facts.
+        for g in lvl.groups:
+            for i in range(g.nodes.size):
+                s = int(g.nodes[i])
+                st = steps[s]
+                nb = st.n - st.t
+                bad = (
+                    st.t != g.t
+                    or int(g.col_lo[i]) != st.col_lo
+                    or int(g.nb[i]) != nb
+                    or (g.t and int(g.top_off[i]) != int(program.node_top_off[s]))
+                    or (nb and int(g.below_off[i]) != int(program.node_below_off[s]))
+                    or (nb and int(g.contrib_off[i]) != int(program.contrib_off[s]))
+                )
+                if bad:
+                    report.add(
+                        "schedule-program-bucket",
+                        f"bucket t={g.t} misdescribes supernode {s} "
+                        "(width, columns, offsets or contribution slice)",
+                        location=loc,
+                    )
+
+        if not layout_ok:
+            continue  # the vector decodes below assume a clean layout
+
+        # --- the level's top gather.
+        exp_top = np.full(lvl.top_total, -1, dtype=np.int64)
+        for s in members:
+            st = steps[s]
+            if st.t:
+                to = int(program.node_top_off[s])
+                exp_top[to:to + st.t] = np.arange(
+                    st.col_lo, st.col_hi, dtype=np.int64
+                )
+        if not np.array_equal(lvl.top_src, exp_top):
+            report.add(
+                "schedule-program-gather",
+                "top gather vector does not fetch each panel's own columns",
+                location=loc,
+            )
+
+        # --- the flattened contribution scatter, in the plan's
+        # (parent ascending, child ascending) reduction order.
+        dst_parts: list[np.ndarray] = []
+        src_parts: list[np.ndarray] = []
+        for s in members:
+            st = steps[s]
+            for c, idx in zip(st.children, st.child_scatter):
+                nbc = steps[c].n - steps[c].t
+                if not nbc:
+                    continue
+                idx64 = idx.astype(np.int64)
+                dst_parts.append(np.where(
+                    idx64 < st.t,
+                    program.node_top_off[s] + idx64,
+                    program.node_below_off[s] + idx64 - st.t,
+                ))
+                src_parts.append(
+                    program.contrib_off[c] + np.arange(nbc, dtype=np.int64)
+                )
+        exp_dst = (np.concatenate(dst_parts) if dst_parts
+                   else np.empty(0, dtype=np.int64))
+        exp_src = (np.concatenate(src_parts) if src_parts
+                   else np.empty(0, dtype=np.int64))
+        if not np.array_equal(lvl.scatter_dst, exp_dst) or not np.array_equal(
+            lvl.scatter_src, exp_src
+        ):
+            report.add(
+                "schedule-program-scatter",
+                "flattened scatter differs from the plan's deterministic "
+                "(parent-ascending, child-ascending) contribution replay — "
+                "results would depend on the program, not the structure",
+                location=loc,
+            )
+
+        # --- the backward gather: width-1 belows first, then buckets.
+        exp_g = np.full(int(lvl.gather_rows.size), -1, dtype=np.int64)
+        gather_ok = True
+        gpos = 0
+        if ones is not None:
+            for i in range(ones.k_below):
+                below = steps[int(ones.nodes[i])].below
+                if gpos + below.size > exp_g.size:
+                    gather_ok = False
+                    break
+                exp_g[gpos:gpos + below.size] = below
+                gpos += below.size
+        for g in lvl.groups:
+            if not g.t:
+                continue
+            for i in range(g.nodes.size):
+                nb = int(g.nb[i])
+                if not nb:
+                    continue
+                go = int(g.gather_off[i])
+                if go < 0 or go + nb > exp_g.size:
+                    gather_ok = False
+                    continue
+                exp_g[go:go + nb] = steps[int(g.nodes[i])].below
+        if (
+            not gather_ok
+            or np.any(exp_g < 0)
+            or not np.array_equal(lvl.gather_rows, exp_g)
+        ):
+            report.add(
+                "schedule-program-gather",
+                "backward gather vector does not fetch each panel's "
+                "below-rows at its declared offset",
+                location=loc,
+            )
+
+        # --- the arena sizing must cover this level.
+        if (
+            program.max_acc < lvl.size
+            or program.max_gather < int(lvl.scatter_src.size)
+            or program.max_gather < int(lvl.gather_rows.size)
+        ):
+            report.add(
+                "schedule-program-workspace",
+                f"declared workspace maxima cannot hold level {lvl.index}",
+                location=loc,
+            )
+
+
+def certify_level_program(
+    program: "LevelProgram",
+    plan: "ExecPlan",
+    stree: "SupernodalTree | None" = None,
+    *,
+    name: str = "fused",
+) -> ScheduleCertificate:
+    """Statically certify a fused level program against its plan.
+
+    Extends :func:`certify_plan` in three moves: first the plan itself is
+    certified (a faithful compilation of a broken plan is still broken);
+    then the program's flat layout, lane, scatter and gather vectors are
+    decoded back against the plan's steps (rules ``schedule-program-*``);
+    finally the plan's per-node effect summaries are re-tasked onto the
+    level chain (:func:`repro.verify.effects.level_effects`) and crossed
+    against the chain's happens-before — level ``i`` before ``i + 1``
+    forward, reversed backward — proving the level barriers order every
+    conflicting access.
+
+    The certificate's ``digest`` is the *plan's* canonical digest: a
+    certified program is proven to be a re-layout of exactly that
+    schedule, so the fused backend earns the identical determinism
+    certificate the threaded backend carries, for every worker count.
+    """
+    base = certify_plan(plan, stree, name=name)
+    report = Report()
+    report.extend(base.report)
+    _check_program_structure(program, plan, report, name)
+
+    nlev = len(program.levels)
+    ndeps = [0 if i == 0 else 1 for i in range(nlev)]
+    dependents = [[i + 1] if i + 1 < nlev else [] for i in range(nlev)]
+    # Within a level, nodes of a valid program never conflict (columns
+    # are disjoint, ancestors sit strictly higher); same-level hand-offs
+    # are already rejected by schedule-program-level above, so ascending
+    # node order stands in for the within-level program order.
+    pos: dict[int, int] = {}
+    counters: dict[int, int] = {}
+    for s in range(program.nsuper):
+        li = int(program.node_level[s])
+        pos[s] = counters.get(li, 0)
+        counters[li] = pos[s] + 1
+
+    _check_phase_races(
+        "forward", nlev, pos,
+        level_effects(forward_effects(plan), program.node_level),
+        ndeps, dependents, report, name,
+    )
+    bwd_ndeps = [0 if i == nlev - 1 else 1 for i in range(nlev)]
+    bwd_dependents = [[i - 1] if i > 0 else [] for i in range(nlev)]
+    _check_phase_races(
+        "backward", nlev, pos,
+        level_effects(backward_effects(plan), program.node_level),
+        bwd_ndeps, bwd_dependents, report, name,
+    )
+    return ScheduleCertificate(
+        digest=base.digest,
+        report=report,
+        nsuper=program.nsuper,
+        ntasks=nlev,
+    )
+
+
 __all__ = [
     "CERT_SCHEMA",
     "ScheduleCertificate",
+    "certify_level_program",
     "certify_plan",
     "plan_digest",
 ]

@@ -53,6 +53,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "backend=serial" in out and "wall-clock" in out
 
+    def test_solve_fused_backend(self, capsys):
+        assert main(
+            ["solve", "--matrix", "grid2d", "--size", "10", "--p", "2",
+             "--nrhs", "4", "--backend", "fused"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=fused" in out and "wall-clock" in out
+        # verify=True is the solver default, so the fused solve must
+        # carry the determinism certificate of its certified program.
+        assert "schedule certificate:" in out
+
     def test_solve_invalid_backend_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--backend", "gpu"])

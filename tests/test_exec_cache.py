@@ -84,3 +84,34 @@ def test_distinct_grains_get_distinct_certificates():
     c1 = certificate_for(sym.stree, grain=4096)
     assert exec_cache_stats()["cert_entries"] == 2
     assert c0.digest != c1.digest
+
+
+def test_program_and_panels_cached_and_evicted():
+    from repro.exec import fused_panels_for, program_for
+
+    sym = analyze(grid2d_laplacian(6))
+    factor = cholesky_supernodal(sym)
+    assert program_for(sym.stree) is program_for(sym.stree)
+    assert fused_panels_for(factor) is fused_panels_for(factor)
+    stats = exec_cache_stats()
+    assert stats["program_misses"] == 1 and stats["program_hits"] >= 1
+    assert stats["panels_misses"] == 1 and stats["panels_hits"] >= 1
+    del sym, factor
+    gc.collect()
+    stats = exec_cache_stats()
+    assert stats["program_entries"] == 0 and stats["panels_entries"] == 0
+
+
+def test_fused_certificate_memoized_and_evicted():
+    from repro.exec import fused_certificate_for, program_for
+
+    sym = analyze(grid2d_laplacian(6))
+    program_for(sym.stree, certify=True)
+    program_for(sym.stree, certify=True)
+    fused_certificate_for(sym.stree)
+    stats = exec_cache_stats()
+    assert stats["fused_cert_misses"] == 1  # the program proof ran once
+    assert stats["fused_cert_hits"] >= 2
+    del sym
+    gc.collect()
+    assert exec_cache_stats()["fused_cert_entries"] == 0

@@ -216,7 +216,7 @@ class TestFaults:
         def boom(*args, **kwargs):
             raise RuntimeError("kernel failure injected")
 
-        monkeypatch.setattr(engine_mod, "dtrsm", boom)
+        monkeypatch.setattr(engine_mod, "solve_lower", boom)
         with pytest.raises(RuntimeError, match="kernel failure injected"):
             forward_exec(factor, rng.normal(size=(sym_grid8.n, 2)), workers=2)
 

@@ -1,0 +1,300 @@
+"""The fused level-program backend: bitwise agreement, zero-allocation
+steady state, program/panel caching, and the program certifier.
+
+The central claims under test, mirroring the engine battery in
+``test_exec_engine.py``:
+
+* fused solves are *bitwise* identical to the serial supernodal solvers
+  and the threaded engine, for every problem class, NRHS width, and
+  aggregation grain of the plan the program was compiled from;
+* a second solve against a prepared factor runs entirely out of the
+  workspace arena — no per-node array allocations;
+* the compiled program earns a determinism certificate with the *same*
+  digest as the threaded plan's, and the certifier rejects mutated
+  programs.
+"""
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.solver import ParallelSparseSolver
+from repro.exec import (
+    backward_fused,
+    clear_exec_caches,
+    compile_level_program,
+    forward_fused,
+    fused_certificate_for,
+    fused_panels_for,
+    plan_for,
+    prepare_factor,
+    program_for,
+    solve_exec,
+    solve_fused,
+)
+from repro.exec.arena import build_fused_workspace
+from repro.exec.fused import _backward_levels, _forward_levels
+from repro.exec.plan import build_plan
+from repro.numeric.supernodal import cholesky_supernodal
+from repro.numeric.trisolve import (
+    backward_supernodal,
+    forward_supernodal,
+    solve_supernodal,
+)
+from repro.symbolic.analyze import analyze
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_exec_caches()
+    yield
+    clear_exec_caches()
+
+
+@pytest.fixture(scope="module", params=["grid8", "grid3d5", "fe9", "rand60"])
+def factored(request):
+    a = request.getfixturevalue(request.param)
+    sym = analyze(a)
+    return a, sym, cholesky_supernodal(sym)
+
+
+class TestBitwiseAgreement:
+    """The one claim everything else rests on: one schedule, one answer."""
+
+    @pytest.mark.parametrize("nrhs", [1, 4, 16])
+    def test_bitwise_vs_serial_and_threads(self, factored, rng, nrhs):
+        a, sym, factor = factored
+        b = rng.normal(size=(a.n, nrhs))
+        x_serial = solve_supernodal(factor, b)
+        x_threads = solve_exec(factor, b, workers=2)
+        x_fused = solve_fused(factor, b)
+        assert np.array_equal(x_fused, x_serial), (
+            "fused backend is not bitwise identical to the serial solver"
+        )
+        assert np.array_equal(x_fused, x_threads), (
+            "fused backend is not bitwise identical to the threaded engine"
+        )
+
+    @pytest.mark.parametrize("grain", [0, 256, 4096])
+    def test_bitwise_across_plan_grains(self, factored, rng, grain):
+        # The level program is grain-invariant by construction; a program
+        # compiled from ANY grain of the same structure must reproduce
+        # the serial answer bit for bit.
+        a, sym, factor = factored
+        b = rng.normal(size=(a.n, 4))
+        plan = build_plan(sym.stree, grain=grain)
+        program = compile_level_program(plan)
+        x = solve_fused(factor, b, program=program)
+        assert np.array_equal(x, solve_supernodal(factor, b))
+
+    def test_forward_backward_sweeps_match_serial(self, factored, rng):
+        a, sym, factor = factored
+        b = rng.normal(size=(a.n, 3))
+        y = forward_fused(factor, b)
+        assert np.array_equal(y, forward_supernodal(factor, b))
+        assert np.array_equal(
+            backward_fused(factor, y), backward_supernodal(factor, y)
+        )
+
+    def test_vector_rhs_round_trip(self, factored, rng):
+        a, sym, factor = factored
+        v = rng.normal(size=a.n)
+        x = solve_fused(factor, v)
+        assert x.shape == (a.n,)
+        assert np.array_equal(x, solve_supernodal(factor, v))
+
+    def test_repeated_solves_are_identical(self, factored, rng):
+        # Workspace reuse must not leak state between solves.
+        a, sym, factor = factored
+        b = rng.normal(size=(a.n, 5))
+        runs = [solve_fused(factor, b) for _ in range(4)]
+        for other in runs[1:]:
+            assert np.array_equal(runs[0], other)
+
+
+class TestZeroAllocationSteadyState:
+    def test_second_solve_reuses_arena_workspace(self, sym_grid8, rng):
+        factor = cholesky_supernodal(sym_grid8)
+        b = rng.normal(size=(sym_grid8.n, 4))
+        solve_fused(factor, b)
+        prep = prepare_factor(factor)
+        built_after_first = prep.arena.stats()["built"]
+        for _ in range(5):
+            solve_fused(factor, b)
+        assert prep.arena.stats()["built"] == built_after_first, (
+            "steady-state solves built new workspaces instead of leasing"
+        )
+
+    def test_sweeps_allocate_no_per_node_arrays(self, sym_grid8, rng):
+        # Drive the level loops directly on a leased workspace: with every
+        # buffer preallocated, the hot path must allocate nothing beyond
+        # small constant-size temporaries (dtrsm's f2py return tuple and
+        # loop-iteration objects) — far below one per-node array.
+        factor = cholesky_supernodal(sym_grid8)
+        prep = prepare_factor(factor)
+        program = program_for(sym_grid8.stree)
+        panels = fused_panels_for(factor)
+        y = rng.normal(size=(sym_grid8.n, 1))
+        ws = build_fused_workspace(program, 1)
+        _forward_levels(program, prep, panels, y, ws)  # warm every code path
+        _backward_levels(program, prep, panels, y, ws)
+
+        tracemalloc.start()
+        _forward_levels(program, prep, panels, y, ws)
+        _backward_levels(program, prep, panels, y, ws)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < 16 * 1024, (
+            f"fused sweeps allocated {peak} bytes at peak — the zero-"
+            "allocation path regressed (a per-node np.zeros is back?)"
+        )
+
+    def test_distinct_nrhs_lease_distinct_workspaces(self, sym_grid8, rng):
+        factor = cholesky_supernodal(sym_grid8)
+        solve_fused(factor, rng.normal(size=(sym_grid8.n, 1)))
+        solve_fused(factor, rng.normal(size=(sym_grid8.n, 8)))
+        prep = prepare_factor(factor)
+        assert prep.arena.stats()["built"] >= 2
+
+
+class TestProgramCompilation:
+    def test_program_grain_invariant(self, sym_grid8):
+        # Same structure, different task aggregation: identical programs
+        # (the compiler reads only the steps and the node levels).
+        programs = [
+            compile_level_program(build_plan(sym_grid8.stree, grain=g))
+            for g in (0, 256, 4096)
+        ]
+        ref = programs[0]
+        for prog in programs[1:]:
+            assert prog.nsuper == ref.nsuper
+            assert np.array_equal(prog.node_level, ref.node_level)
+            assert len(prog.levels) == len(ref.levels)
+            for la, lb in zip(prog.levels, ref.levels):
+                assert np.array_equal(la.top_src, lb.top_src)
+                assert np.array_equal(la.scatter_dst, lb.scatter_dst)
+                assert np.array_equal(la.scatter_src, lb.scatter_src)
+                assert np.array_equal(la.gather_rows, lb.gather_rows)
+
+    def test_program_and_panels_memoized(self, sym_grid8):
+        factor = cholesky_supernodal(sym_grid8)
+        assert program_for(sym_grid8.stree) is program_for(sym_grid8.stree)
+        assert fused_panels_for(factor) is fused_panels_for(factor)
+
+    def test_solver_backend_fused(self, prepared_grid12, rng):
+        b = rng.normal(size=(prepared_grid12.a.n, 2))
+        x, rep = prepared_grid12.solve(b, backend="fused")
+        assert rep.backend == "fused"
+        assert rep.forward.sim is None and rep.backward.sim is None
+        assert rep.fbsolve_seconds > 0
+        assert rep.residual < 1e-12
+        x_thr, rep_thr = prepared_grid12.solve(b, backend="threads", workers=2)
+        assert np.array_equal(x, x_thr)
+        # One structure, one determinism certificate — both backends.
+        assert rep.schedule_certificate == rep_thr.schedule_certificate
+
+    def test_workers_rejected_on_fused_backend(self, prepared_grid12, rng):
+        with pytest.raises(ValueError, match="workers"):
+            prepared_grid12.solve(
+                rng.normal(size=prepared_grid12.a.n), backend="fused", workers=2
+            )
+
+
+class TestFusedCertifier:
+    def test_certificate_clean_and_digest_matches_plan(self, factored):
+        from repro.exec import certificate_for
+
+        a, sym, factor = factored
+        cert = fused_certificate_for(sym.stree)
+        assert cert.ok, [str(f) for f in cert.report.errors()]
+        assert cert.digest == certificate_for(sym.stree).digest
+        assert cert.ntasks == len(program_for(sym.stree).levels)
+
+    def test_certifier_rejects_swapped_scatter(self, sym_grid8):
+        import dataclasses
+
+        from repro.verify.schedule import certify_level_program
+
+        plan = plan_for(sym_grid8.stree)
+        program = compile_level_program(plan)
+        li = next(
+            i for i, lvl in enumerate(program.levels)
+            if lvl.scatter_src.size >= 2
+        )
+        lvl = program.levels[li]
+        src = lvl.scatter_src.copy()
+        src[0], src[1] = src[1], src[0]
+        levels = list(program.levels)
+        levels[li] = dataclasses.replace(lvl, scatter_src=src)
+        bad = dataclasses.replace(program, levels=tuple(levels))
+        cert = certify_level_program(bad, plan, sym_grid8.stree)
+        assert not cert.ok
+        assert "schedule-program-scatter" in {f.rule for f in cert.report.errors()}
+
+    def test_certifier_rejects_mislevelled_node(self, sym_grid8):
+        import dataclasses
+
+        from repro.verify.schedule import certify_level_program
+
+        plan = plan_for(sym_grid8.stree)
+        program = compile_level_program(plan)
+        node_level = program.node_level.copy()
+        node_level[0] += 1
+        bad = dataclasses.replace(program, node_level=node_level)
+        cert = certify_level_program(bad, plan, sym_grid8.stree)
+        assert not cert.ok
+
+    def test_certifying_program_for_raises_on_broken_program(self, sym_grid8):
+        # certify=True on a clean structure must succeed and memoize.
+        p1 = program_for(sym_grid8.stree, certify=True)
+        p2 = program_for(sym_grid8.stree, certify=True)
+        assert p1 is p2
+
+
+class TestPoolReuse:
+    def test_solve_exec_builds_one_pool_for_both_sweeps(self, sym_grid8, rng, monkeypatch):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.exec import engine as engine_mod
+
+        factor = cholesky_supernodal(sym_grid8)
+        constructed = []
+
+        class CountingPool(ThreadPoolExecutor):
+            def __init__(self, *args, **kwargs):
+                constructed.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "ThreadPoolExecutor", CountingPool)
+        b = rng.normal(size=(sym_grid8.n, 3))
+        x = solve_exec(factor, b, workers=2)
+        assert len(constructed) == 1, (
+            "solve_exec must reuse one thread pool across the forward and "
+            f"backward sweeps, constructed {len(constructed)}"
+        )
+        assert np.array_equal(x, solve_supernodal(factor, b))
+
+    def test_single_worker_builds_no_pool(self, sym_grid8, rng, monkeypatch):
+        from repro.exec import engine as engine_mod
+
+        factor = cholesky_supernodal(sym_grid8)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("workers=1 must not construct a thread pool")
+
+        monkeypatch.setattr(engine_mod, "ThreadPoolExecutor", boom)
+        x = solve_exec(factor, rng.normal(size=sym_grid8.n), workers=1)
+        assert np.all(np.isfinite(x))
+
+
+def test_fused_tolerates_gc_of_program_midlife(sym_grid8, rng):
+    # The solve keeps its own reference; cache eviction of the structure
+    # must never invalidate an in-flight program.
+    factor = cholesky_supernodal(sym_grid8)
+    b = rng.normal(size=(sym_grid8.n, 2))
+    program = program_for(sym_grid8.stree)
+    gc.collect()
+    x = solve_fused(factor, b, program=program)
+    assert np.array_equal(x, solve_supernodal(factor, b))
