@@ -335,6 +335,60 @@ class ParallelSparseSolver:
             report.residual = relative_residual(self.a, x, bmat)
         return (x[:, 0] if squeeze else x), report
 
+    # ------------------------------------------------------------------
+    def serving(
+        self,
+        *,
+        backend: str = "fused",
+        max_batch: int = 16,
+        max_wait: float = 2e-3,
+        idle_wait: float | None = -1.0,
+        max_queue: int | None = None,
+        clock=None,
+        workers: int | None = None,
+        key: str = "default",
+    ):
+        """A request-coalescing solve service over this prepared solver.
+
+        Context manager: yields a started
+        :class:`~repro.serve.service.SolveService` with this solver
+        registered under *key* (default ``"default"``), and drains and
+        closes it on exit.  ``submit()`` single- or few-column requests
+        from any thread; the service packs concurrent requests into one
+        multi-RHS solve on the cached factor, and every response is
+        bitwise identical to the corresponding standalone
+        ``solve(..., backend=backend)`` solution::
+
+            with solver.serving(max_batch=16) as svc:
+                fut = svc.submit(b)          # b: (n,) or (n, w)
+                x = fut.result()
+
+        Pass a :class:`~repro.serve.clock.FakeClock` as *clock* to run
+        the service in deterministic manual-pump mode (tests).
+        """
+        from contextlib import contextmanager
+
+        from repro.serve import SolveService
+
+        @contextmanager
+        def _serving():
+            service = SolveService(
+                backend=backend,
+                max_batch=max_batch,
+                max_wait=max_wait,
+                idle_wait=idle_wait,
+                max_queue=max_queue,
+                clock=clock,
+                workers=workers,
+            )
+            service.register(key, self)
+            try:
+                yield service
+            finally:
+                service.close()
+
+        return _serving()
+
     def _one_solve(
         self, bmat: np.ndarray, backend: str = "sim", workers: int | None = None
     ) -> tuple[np.ndarray, float, float, SimResult | None, SimResult | None]:

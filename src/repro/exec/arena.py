@@ -128,7 +128,8 @@ class FusedWorkspace:
     contrib: np.ndarray  # whole-tree contribution arena
     gather: np.ndarray   # scatter sources (forward) / x[below] rows (backward)
     rep: np.ndarray      # width-1 replicated-solution / product buffer
-    wk: np.ndarray       # per-node GEMM output, max(nb, t) rows
+    wk: np.ndarray       # per-node rectangle-product output, max(nb, t) rows
+    wk2: np.ndarray      # rank-1 term scratch of rect_apply/rect_apply_t
     top: np.ndarray      # backward top blocks, max(k1, t) rows
     dot: np.ndarray      # width-1 backward reduceat output
 
@@ -141,6 +142,7 @@ def build_fused_workspace(program: LevelProgram, m: int) -> FusedWorkspace:
         gather=np.empty((program.max_gather, m)),
         rep=np.empty((program.max_rep, m)),
         wk=np.empty((program.max_wk, m)),
+        wk2=np.empty((program.max_wk, m)),
         top=np.empty((program.max_top, m)),
         dot=np.empty((program.max_dot, m)),
     )

@@ -48,7 +48,13 @@ import numpy as np
 from repro.exec.arena import build_engine_workspace
 from repro.exec.cache import PreparedFactor, plan_for, prepare_factor
 from repro.exec.plan import DEFAULT_GRAIN, ExecPlan
-from repro.numeric.kernels import solve_lower, solve_lower_t, unit_dot
+from repro.numeric.kernels import (
+    rect_apply,
+    rect_apply_t,
+    solve_lower,
+    solve_lower_t,
+    unit_dot,
+)
 from repro.numeric.supernodal import SupernodalFactor
 from repro.numeric.trisolve import as_rhs_matrix
 from repro.util.validation import require
@@ -186,7 +192,7 @@ def _forward_mat(
                     solved = solve_lower(diag[s], acc[:t])
                     y[st.col_lo:st.col_hi] = solved
                     if st.n > t:
-                        np.subtract(acc[t:], rect[s] @ solved,
+                        np.subtract(acc[t:], rect_apply(rect[s], solved),
                                     out=ws.contrib[con_off[s]:con_off[s + 1]])
                 elif st.n:
                     ws.contrib[con_off[s]:con_off[s + 1]] = acc
@@ -216,7 +222,8 @@ def _backward_mat(
             top = x[st.col_lo:st.col_hi]
             if st.n > t:
                 xg = x[st.below]
-                top = top - (unit_dot(rect[s], xg) if t == 1 else rect[s].T @ xg)
+                top = top - (unit_dot(rect[s], xg) if t == 1
+                             else rect_apply_t(rect[s], xg))
             x[st.col_lo:st.col_hi] = solve_lower_t(diag[s], top)
 
     ndeps, dependents = plan.backward_deps()

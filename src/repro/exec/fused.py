@@ -18,8 +18,12 @@ compiled from the plan instead — per level:
   replicated multiply and one subtract (forward) or one level-wide
   product + ``np.add.reduceat`` (backward);
 * wider panels run bucketed by width — per node one ``dtrsm`` and one
-  GEMM, because a *batched* triangular solve would have to reassociate
-  the arithmetic and break bitwise agreement.
+  column-invariant rectangle product
+  (:func:`repro.numeric.kernels.rect_apply`), because a *batched*
+  triangular solve would have to reassociate the arithmetic and break
+  bitwise agreement, and a plain GEMM would round differently at
+  different NRHS widths (which would break the serving layer's
+  coalescing-transparency guarantee).
 
 Every buffer comes from a :class:`~repro.exec.arena.FusedWorkspace`
 leased from the prepared factor's arena, so a steady-state solve
@@ -43,6 +47,7 @@ from repro.exec.cache import (
     program_for,
 )
 from repro.exec.plan import LevelProgram
+from repro.numeric.kernels import rect_apply, rect_apply_t
 from repro.numeric.supernodal import SupernodalFactor
 from repro.numeric.trisolve import as_rhs_matrix
 
@@ -136,7 +141,8 @@ def _forward_levels(
                 if nb:
                     bo = int(g.below_off[i])
                     co = int(g.contrib_off[i])
-                    np.matmul(prep.rect[s], solved, out=ws.wk[:nb])
+                    rect_apply(prep.rect[s], solved,
+                               out=ws.wk[:nb], tmp=ws.wk2[:nb])
                     np.subtract(acc[bo:bo + nb], ws.wk[:nb],
                                 out=contrib[co:co + nb])
 
@@ -176,8 +182,8 @@ def _backward_levels(
                 top = ws.top[:t]
                 if nb:
                     go = int(g.gather_off[i])
-                    np.matmul(prep.rect[s].T, ws.gather[go:go + nb],
-                              out=ws.wk[:t])
+                    rect_apply_t(prep.rect[s], ws.gather[go:go + nb],
+                                 out=ws.wk[:t], tmp=ws.wk2[:nb])
                     np.subtract(x[cl:cl + t], ws.wk[:t], out=top)
                 else:
                     np.copyto(top, x[cl:cl + t])

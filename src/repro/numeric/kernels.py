@@ -19,9 +19,30 @@ This module is that single source of truth:
   ``np.add.reduceat``.  A BLAS ``dot`` may reassociate the sum, and the
   fused backend reduces whole levels with one ``reduceat`` call — so the
   per-node path must use the identical reduction.
+* :func:`rect_apply` / :func:`rect_apply_t` — the rectangle products
+  ``R @ solved`` and ``R.T @ xg``.  These used to be plain GEMM calls,
+  but BLAS ``dgemm`` picks different internal kernels for different
+  right-hand-side widths, so column ``j`` of an ``(nb, t) @ (t, 16)``
+  product is *not* bitwise equal to the ``(nb, t) @ (t, 1)`` product of
+  the same column (measured on OpenBLAS; ``dtrsm`` does not have this
+  problem).  The serving layer (:mod:`repro.serve`) coalesces
+  independent single-column requests into wide batches and promises the
+  packed result is indistinguishable from solving each column alone —
+  so the canonical kernels accumulate in an order that is a fixed
+  function of each *column*, never of the batch width:
 
-Anything not covered here (elementwise adds/subtracts/multiplies, the
-``rect @ solved`` GEMM on identical operands) is bitwise reproducible by
+  - ``rect_apply`` sums rank-1 terms ``R[:, k] * solved[k, :]`` in
+    ascending ``k`` (elementwise broadcast products, one add per term);
+  - ``rect_apply_t`` forms output row ``i`` as the ascending-row
+    ``reduceat`` sum of ``R[:, i] * xg`` — :func:`unit_dot` applied per
+    rectangle column.
+
+  Every multi-column kernel is therefore **column-slice invariant**:
+  column ``j`` of the ``m``-column result equals the 1-column result on
+  ``operand[:, j:j+1]`` bit for bit, for every ``m``.
+
+Anything not covered here (elementwise adds/subtracts/multiplies, row
+gathers/scatters) is column-slice invariant and bitwise reproducible by
 construction.
 """
 
@@ -63,3 +84,65 @@ def unit_dot(rect: np.ndarray, xg: np.ndarray) -> np.ndarray:
     two paths agree bitwise (a BLAS ``dot`` would not).
     """
     return np.add.reduceat(rect * xg, _SEG0, axis=0)
+
+
+def rect_apply(
+    rect: np.ndarray,
+    solved: np.ndarray,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> np.ndarray:
+    """``rect @ solved`` with a width-invariant accumulation order.
+
+    *rect* is ``(nb, t)``, *solved* ``(t, m)``; returns the ``(nb, m)``
+    product as the ascending-``k`` sum of rank-1 terms
+    ``rect[:, k] * solved[k, :]``.  Each term is an elementwise
+    broadcast product and each add is elementwise, so column ``j`` of
+    the result depends only on ``solved[:, j]`` — never on ``m``.
+
+    ``out`` (``(nb, m)``) receives the product, ``tmp`` (``(nb, m)``)
+    holds the intermediate terms; both are allocated when omitted, so
+    the zero-allocation fused path passes workspace slices and the
+    serial walker passes nothing.
+    """
+    nb = rect.shape[0]
+    t = rect.shape[1]
+    if out is None:
+        out = np.empty((nb, solved.shape[1]))
+    np.multiply(rect[:, 0:1], solved[0:1], out=out)
+    if t > 1:
+        if tmp is None:
+            tmp = np.empty_like(out)
+        for k in range(1, t):
+            np.multiply(rect[:, k : k + 1], solved[k : k + 1], out=tmp)
+            np.add(out, tmp, out=out)
+    return out
+
+
+def rect_apply_t(
+    rect: np.ndarray,
+    xg: np.ndarray,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> np.ndarray:
+    """``rect.T @ xg`` with a width-invariant accumulation order.
+
+    *rect* is ``(nb, t)``, *xg* the gathered ancestor rows ``(nb, m)``;
+    returns the ``(t, m)`` product where row ``i`` is
+    :func:`unit_dot` of rectangle column ``i`` against *xg* — products
+    reduced sequentially in ascending row order by ``np.add.reduceat``.
+    Column-slice invariant for the same reason as :func:`rect_apply`.
+
+    ``out`` (``(t, m)``) and ``tmp`` (``(nb, m)``) follow the same
+    workspace convention as :func:`rect_apply`.
+    """
+    nb = rect.shape[0]
+    t = rect.shape[1]
+    if out is None:
+        out = np.empty((t, xg.shape[1]))
+    if tmp is None:
+        tmp = np.empty((nb, xg.shape[1]))
+    for i in range(t):
+        np.multiply(rect[:, i : i + 1], xg, out=tmp)
+        np.add.reduceat(tmp, _SEG0, axis=0, out=out[i : i + 1])
+    return out

@@ -30,7 +30,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.numeric.kernels import solve_lower, solve_lower_t, unit_dot
+from repro.numeric.kernels import (
+    rect_apply,
+    rect_apply_t,
+    solve_lower,
+    solve_lower_t,
+    unit_dot,
+)
 from repro.numeric.supernodal import SupernodalFactor
 from repro.sparse.csc import LowerCSC
 
@@ -105,7 +111,7 @@ def forward_supernodal(f: SupernodalFactor, b: np.ndarray) -> np.ndarray:
             solved = solve_lower(block[:t, :t], acc[:t])
             y[sn.col_lo : sn.col_hi] = solved
             if sn.n > t:
-                contrib[s] = acc[t:] - block[t:, :t] @ solved
+                contrib[s] = acc[t:] - rect_apply(block[t:, :t], solved)
         elif sn.n:
             contrib[s] = acc
     return y[:, 0] if squeeze else y
@@ -125,7 +131,7 @@ def backward_supernodal(f: SupernodalFactor, b: np.ndarray) -> np.ndarray:
         if sn.n > t:
             rect = block[t:, :t]
             xg = x[sn.below]
-            top = top - (unit_dot(rect, xg) if t == 1 else rect.T @ xg)
+            top = top - (unit_dot(rect, xg) if t == 1 else rect_apply_t(rect, xg))
         x[sn.col_lo : sn.col_hi] = solve_lower_t(block[:t, :t], top)
     return x[:, 0] if squeeze else x
 

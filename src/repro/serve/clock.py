@@ -1,0 +1,94 @@
+"""Injectable time sources for the solve service.
+
+Every timing decision the coalescer makes — "has the oldest request
+waited out ``max_wait``?", "has the arrival stream gone idle?", "how
+long may the dispatcher sleep?" — goes through a :class:`Clock`, never
+through :mod:`time` directly.  That single seam is what makes a
+timing-dependent concurrent subsystem deterministically testable:
+
+* :class:`MonotonicClock` is the production clock — ``time.monotonic``
+  for ``now()``, ``Condition.wait`` for the dispatcher's interruptible
+  sleep.
+* :class:`FakeClock` is the test clock — time is a number that moves
+  only when the test calls :meth:`FakeClock.advance`.  It refuses to
+  ``wait`` (``drives_threads`` is false), which forces the service into
+  manual-pump mode: the test advances time and pumps the coalescer
+  explicitly, so every flush decision happens at an exact, reproducible
+  instant.  No test built on it contains a single ``time.sleep``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Monotonic time plus an interruptible wait, as one injectable seam.
+
+    ``drives_threads`` declares whether the clock can put a real
+    dispatcher thread to sleep: true for wall-clock time, false for
+    simulated time (a thread sleeping on simulated time could only be
+    woken by the thread that is asleep).
+    """
+
+    drives_threads: bool
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        ...
+
+    def wait(self, cond: threading.Condition, timeout: float | None) -> bool:
+        """Sleep on *cond* (which the caller holds) up to *timeout* seconds.
+
+        Returns true when woken by a notify, false on timeout — the
+        ``Condition.wait`` contract.
+        """
+        ...
+
+
+class MonotonicClock:
+    """The production clock: real monotonic time, real condition waits."""
+
+    drives_threads = True
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def wait(self, cond: threading.Condition, timeout: float | None) -> bool:
+        return cond.wait(timeout)
+
+
+class FakeClock:
+    """Simulated time for deterministic tests: advances only on demand.
+
+    ``now()`` returns the simulated instant; :meth:`advance` moves it
+    forward (never backward — time stays monotonic even when faked).
+    ``wait`` raises: a service built on a fake clock must run in
+    manual-pump mode, where the test itself decides when the coalescer
+    looks at the clock.
+    """
+
+    drives_threads = False
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move simulated time forward by *dt* seconds; returns the new now."""
+        if dt < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {dt}")
+        self._now += float(dt)
+        return self._now
+
+    def wait(self, cond: threading.Condition, timeout: float | None) -> bool:
+        raise RuntimeError(
+            "FakeClock cannot block a dispatcher thread — run the service "
+            "in manual-pump mode (pump()/drain()) and advance() the clock "
+            "from the test instead"
+        )

@@ -1,0 +1,98 @@
+"""Observability for the solve service: per-batch and aggregate stats.
+
+Every flushed batch leaves one :class:`BatchRecord` on the service's
+:class:`ServeReport` — what triggered it, how wide it was, how long its
+requests queued, how long the solve took.  The aggregates answer the
+economic question the serving layer exists for: what batch width did the
+coalescer actually achieve, and how many columns per second did that buy
+(the paper's Figures 7–8 argument, measured online).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One executed batch: composition, queueing, and solve cost."""
+
+    key: str
+    requests: int
+    columns: int
+    trigger: str  # "full" | "deadline" | "idle" | "drain"
+    wait_max: float   # longest queue wait in the batch (service-clock seconds)
+    wait_mean: float  # mean queue wait across the batch's requests
+    exec_seconds: float  # wall-clock seconds of the packed solve
+
+    @property
+    def columns_per_second(self) -> float:
+        return self.columns / self.exec_seconds if self.exec_seconds > 0 else float("inf")
+
+
+@dataclass
+class ServeReport:
+    """Lifetime statistics of one :class:`~repro.serve.service.SolveService`."""
+
+    batches: list[BatchRecord] = field(default_factory=list)
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    peak_queue_columns: int = 0
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def nbatches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_columns(self) -> int:
+        return sum(b.columns for b in self.batches)
+
+    @property
+    def mean_batch_width(self) -> float:
+        return self.total_columns / self.nbatches if self.nbatches else 0.0
+
+    @property
+    def exec_seconds(self) -> float:
+        return sum(b.exec_seconds for b in self.batches)
+
+    @property
+    def columns_per_second(self) -> float:
+        """Amortised solve throughput: total columns over total solve time."""
+        secs = self.exec_seconds
+        return self.total_columns / secs if secs > 0 else float("inf")
+
+    @property
+    def trigger_counts(self) -> dict[str, int]:
+        return dict(Counter(b.trigger for b in self.batches))
+
+    @property
+    def wait_max(self) -> float:
+        return max((b.wait_max for b in self.batches), default=0.0)
+
+    def snapshot(self) -> "ServeReport":
+        """An independent copy safe to read while the service keeps running."""
+        return replace(self, batches=list(self.batches))
+
+    def summary(self) -> str:
+        """Human-readable digest (the CLI demo and benchmarks print this)."""
+        triggers = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.trigger_counts.items())
+        ) or "none"
+        lines = [
+            f"requests : {self.submitted} submitted, {self.completed} completed, "
+            f"{self.failed} failed, {self.cancelled} cancelled, "
+            f"{self.rejected} rejected",
+            f"batches  : {self.nbatches} ({triggers})",
+            f"widths   : mean {self.mean_batch_width:.2f} columns/batch, "
+            f"peak queue {self.peak_queue_columns} columns",
+            f"waits    : max {self.wait_max * 1e3:.3f} ms in queue",
+            f"solve    : {self.total_columns} columns in "
+            f"{self.exec_seconds * 1e3:.3f} ms "
+            f"({self.columns_per_second:.0f} columns/s amortised)",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Column-slice invariance of the canonical dense kernels.
+
+The serving layer's transparency promise — a request's answer is bitwise
+identical whatever batch it lands in — reduces to one property of the
+kernels in :mod:`repro.numeric.kernels`: column ``j`` of every
+``m``-column result equals the 1-column result on column ``j`` alone,
+bit for bit, for every ``m``.  These tests pin that property directly,
+including the empirical fact that motivated :func:`rect_apply` /
+:func:`rect_apply_t` existing at all: BLAS ``dtrsm`` IS width-invariant
+on this machine, while a plain GEMM is not guaranteed to be.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.numeric.kernels import (
+    rect_apply,
+    rect_apply_t,
+    solve_lower,
+    solve_lower_t,
+    unit_dot,
+)
+
+WIDTHS = (2, 3, 4, 7, 16, 33)
+
+
+def _rng():
+    return np.random.default_rng(42)
+
+
+def _lower(rng, t):
+    diag = np.tril(rng.normal(size=(t, t)))
+    diag[np.diag_indices(t)] = np.abs(diag[np.diag_indices(t)]) + 1.0
+    return diag
+
+
+@pytest.mark.parametrize("t", [1, 2, 5, 17, 64])
+@pytest.mark.parametrize("m", WIDTHS)
+def test_solve_lower_column_slice_invariant(t, m):
+    rng = _rng()
+    diag = _lower(rng, t)
+    top = rng.normal(size=(t, m))
+    wide = solve_lower(diag, top)
+    for j in range(m):
+        narrow = solve_lower(diag, top[:, j : j + 1])
+        assert np.array_equal(wide[:, j : j + 1], narrow)
+
+
+@pytest.mark.parametrize("t", [1, 2, 5, 17, 64])
+@pytest.mark.parametrize("m", WIDTHS)
+def test_solve_lower_t_column_slice_invariant(t, m):
+    rng = _rng()
+    diag = _lower(rng, t)
+    top = rng.normal(size=(t, m))
+    wide = solve_lower_t(diag, top)
+    for j in range(m):
+        narrow = solve_lower_t(diag, top[:, j : j + 1])
+        assert np.array_equal(wide[:, j : j + 1], narrow)
+
+
+@pytest.mark.parametrize("nb,t", [(1, 1), (3, 1), (7, 2), (20, 5), (64, 17), (150, 33)])
+@pytest.mark.parametrize("m", WIDTHS)
+def test_rect_apply_column_slice_invariant(nb, t, m):
+    rng = _rng()
+    rect = rng.normal(size=(nb, t))
+    solved = rng.normal(size=(t, m))
+    wide = rect_apply(rect, solved)
+    for j in range(m):
+        narrow = rect_apply(rect, solved[:, j : j + 1])
+        assert np.array_equal(wide[:, j : j + 1], narrow)
+
+
+@pytest.mark.parametrize("nb,t", [(1, 1), (3, 1), (7, 2), (20, 5), (64, 17), (150, 33)])
+@pytest.mark.parametrize("m", WIDTHS)
+def test_rect_apply_t_column_slice_invariant(nb, t, m):
+    rng = _rng()
+    rect = rng.normal(size=(nb, t))
+    xg = rng.normal(size=(nb, m))
+    wide = rect_apply_t(rect, xg)
+    for j in range(m):
+        narrow = rect_apply_t(rect, xg[:, j : j + 1])
+        assert np.array_equal(wide[:, j : j + 1], narrow)
+
+
+def test_rect_apply_workspace_matches_allocating_path():
+    rng = _rng()
+    rect = rng.normal(size=(40, 9))
+    solved = rng.normal(size=(9, 6))
+    out = np.full((40, 6), np.nan)
+    tmp = np.full((40, 6), np.nan)
+    got = rect_apply(rect, solved, out=out, tmp=tmp)
+    assert got is out
+    assert np.array_equal(out, rect_apply(rect, solved))
+
+
+def test_rect_apply_t_workspace_matches_allocating_path():
+    rng = _rng()
+    rect = rng.normal(size=(40, 9))
+    xg = rng.normal(size=(40, 6))
+    out = np.full((9, 6), np.nan)
+    tmp = np.full((40, 6), np.nan)
+    got = rect_apply_t(rect, xg, out=out, tmp=tmp)
+    assert got is out
+    assert np.array_equal(out, rect_apply_t(rect, xg))
+
+
+def test_rect_apply_t_width1_matches_unit_dot():
+    """The t=1 rectangle path and unit_dot are the same reduction."""
+    rng = _rng()
+    rect = rng.normal(size=(30, 1))
+    xg = rng.normal(size=(30, 5))
+    assert np.array_equal(rect_apply_t(rect, xg), unit_dot(rect, xg))
+
+
+def test_rect_apply_matches_gemm_to_rounding():
+    """Fixed-order accumulation is still the same product numerically."""
+    rng = _rng()
+    rect = rng.normal(size=(50, 12))
+    solved = rng.normal(size=(12, 8))
+    np.testing.assert_allclose(rect_apply(rect, solved), rect @ solved, rtol=1e-13)
+    xg = rng.normal(size=(50, 8))
+    np.testing.assert_allclose(rect_apply_t(rect, xg), rect.T @ xg, rtol=1e-13)
+
+
+def test_dtrsm_width_invariance_assumption_holds():
+    """Pin the empirical BLAS fact the design note in kernels.py relies on.
+
+    solve_lower/solve_lower_t call dtrsm directly for t > 1, so the
+    kernel contract silently assumes this BLAS's dtrsm picks the same
+    per-column rounding at every RHS width.  If a BLAS upgrade ever
+    breaks that, this test localises the failure to the assumption
+    rather than leaving a mysterious transparency regression.
+    """
+    from scipy.linalg.blas import dtrsm
+
+    rng = _rng()
+    for t in (8, 37, 96):
+        diag = _lower(rng, t)
+        top = rng.normal(size=(t, 24))
+        for trans in (0, 1):
+            wide = dtrsm(1.0, diag, top, lower=1, trans_a=trans)
+            for j in (0, 11, 23):
+                narrow = dtrsm(1.0, diag, top[:, j : j + 1], lower=1, trans_a=trans)
+                assert np.array_equal(wide[:, j : j + 1], narrow)

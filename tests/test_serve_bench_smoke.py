@@ -1,0 +1,126 @@
+"""The serve benchmark harness must run, check, and emit schema-valid JSON.
+
+CI runs ``bench_serve.py --quick --check`` and uploads
+``BENCH_serve.json`` as an artifact; this smoke test runs the same
+command end to end in a temp directory, validates the payload against
+the documented schema, and holds the *committed* trajectory file to the
+PR's acceptance bar: coalesced throughput at least ``CHECK_RATIO`` x
+the uncoalesced serial-submission baseline on grid3d at offered load
+>= ``CHECK_LOAD``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.serve
+
+ROOT = Path(__file__).resolve().parents[1]
+BENCH = ROOT / "benchmarks" / "bench_serve.py"
+
+
+def _load_bench_module():
+    sys.path.insert(0, str(ROOT))
+    try:
+        from benchmarks import bench_serve
+    finally:
+        sys.path.pop(0)
+    return bench_serve
+
+
+@pytest.fixture(scope="module")
+def quick_payload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_serve.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--quick", "--check", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert proc.returncode == 0, f"bench failed:\n{proc.stdout}\n{proc.stderr}"
+    return json.loads(out.read_text()), proc.stdout
+
+
+class TestServeBenchSmoke:
+    def test_schema_is_valid(self, quick_payload):
+        payload, _ = quick_payload
+        bench = _load_bench_module()
+        assert bench.validate_payload(payload) == []
+
+    def test_quick_mode_has_baseline_and_coalesced_records(self, quick_payload):
+        payload, _ = quick_payload
+        results = payload["results"]
+        assert any(not rec["coalesced"] for rec in results), "no baseline"
+        assert any(rec["coalesced"] for rec in results), "no coalesced record"
+        for rec in results:
+            # The uncoalesced baseline is exactly the max_batch=1 service.
+            assert rec["coalesced"] == (rec["max_batch"] > 1)
+            assert rec["columns"] == rec["requests"]
+
+    def test_mean_width_matches_offered_load(self, quick_payload):
+        """At load >= max_batch every batch fills; at load 1 none coalesce."""
+        payload, _ = quick_payload
+        for rec in payload["results"]:
+            if rec["load"] >= rec["max_batch"]:
+                assert rec["mean_batch_width"] == pytest.approx(rec["max_batch"])
+            if rec["load"] == 1:
+                assert rec["mean_batch_width"] == pytest.approx(1.0)
+
+    def test_check_passes_in_quick_mode(self, quick_payload):
+        _, stdout = quick_payload
+        assert "check: coalescing >=" in stdout
+
+    def test_table_printed(self, quick_payload):
+        _, stdout = quick_payload
+        assert "vs serial-submit" in stdout
+        assert "baseline" in stdout
+
+    def test_validator_rejects_broken_payloads(self):
+        bench = _load_bench_module()
+        assert bench.validate_payload({"schema": "nope", "results": []})
+        good_rec = {
+            "matrix": "grid3d(5)", "backend": "fused", "max_batch": 8,
+            "load": 16, "requests": 64, "columns": 64, "seconds": 0.1,
+            "cols_per_sec": 640.0, "mean_batch_width": 8.0, "n_batches": 8,
+            "coalesced": True,
+        }
+        good = {"schema": bench.SCHEMA, "results": [good_rec]}
+        assert bench.validate_payload(good) == []
+        missing = {"schema": bench.SCHEMA, "results": [{"matrix": "x"}]}
+        errors = bench.validate_payload(missing)
+        assert errors and "missing keys" in errors[0]
+        bad_backend = {"schema": bench.SCHEMA,
+                       "results": [{**good_rec, "backend": "quantum"}]}
+        assert bench.validate_payload(bad_backend)
+
+    def test_check_flags_slow_coalescing(self):
+        bench = _load_bench_module()
+        base = {
+            "matrix": "grid3d(8)", "backend": "fused", "max_batch": 1,
+            "load": 1, "requests": 64, "columns": 64, "seconds": 0.1,
+            "cols_per_sec": 640.0, "mean_batch_width": 1.0, "n_batches": 64,
+            "coalesced": False,
+        }
+        fast = {**base, "max_batch": 16, "load": 16,
+                "cols_per_sec": 640.0 * 4, "coalesced": True}
+        assert bench.check_acceptance([base, fast]) == []
+        slow = {**fast, "cols_per_sec": 640.0 * 1.5}
+        assert bench.check_acceptance([base, slow])
+        # No grid3d record at the check load at all -> that is itself a failure.
+        assert bench.check_acceptance([base])
+
+    def test_committed_trajectory_file_meets_acceptance_bar(self):
+        committed = ROOT / "BENCH_serve.json"
+        if not committed.exists():
+            pytest.skip("no committed BENCH_serve.json")
+        bench = _load_bench_module()
+        payload = json.loads(committed.read_text())
+        assert bench.validate_payload(payload) == []
+        assert bench.check_acceptance(payload["results"]) == []
